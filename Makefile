@@ -1,0 +1,38 @@
+# Convenience targets for the THINC reproduction.
+
+PY ?= python
+
+.PHONY: install test bench figures figures-paper protocol-doc examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every evaluation figure at the fast default scale.
+figures:
+	$(PY) examples/run_all_figures.py
+
+# Paper-scale workloads (54 pages, 834 frames); takes a long while.
+figures-paper:
+	$(PY) examples/run_all_figures.py --pages 54 --frames 834
+
+# Re-render docs/PROTOCOL.md from the machine-readable spec.
+protocol-doc:
+	$(PY) -c "from repro.protocol.spec import render_protocol_reference as r; \
+	open('docs/PROTOCOL.md','w').write(r())"
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/translation_inspector.py
+	$(PY) examples/desktop_session.py
+	$(PY) examples/collaboration.py
+	$(PY) examples/pda_navigation.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks

@@ -1,0 +1,47 @@
+"""Ablation — RAW payload compression (paper Section 7).
+
+RAW is the only THINC command that is compressed (PNG-model) before
+transmission.  Disabling it shows how much of the web workload's data
+volume the last-resort pixel path accounts for — and that commands
+other than RAW are unaffected, since they carry semantics, not pixels.
+"""
+
+from conftest import WEB_PAGES
+
+from repro.bench.reporting import format_mbytes, format_ms, format_table
+from repro.bench.testbed import run_web_benchmark
+from repro.net import LAN_DESKTOP, LinkParams
+
+# Also measure on a modest link where the extra bytes cost latency.
+DSL = LinkParams("dsl", bandwidth_bps=8e6, rtt=0.030)
+
+
+def run_compression_ablation():
+    rows = {}
+    for label, link in [("LAN", LAN_DESKTOP), ("8 Mbps", DSL)]:
+        rows[(label, True)] = run_web_benchmark(
+            "THINC", link, label, page_count=WEB_PAGES)
+        rows[(label, False)] = run_web_benchmark(
+            "THINC", link, label, page_count=WEB_PAGES, compress_raw=False)
+    return rows
+
+
+def test_ablation_compression(benchmark, show):
+    rows = benchmark.pedantic(run_compression_ablation, rounds=1,
+                              iterations=1)
+    show(format_table(
+        "Ablation — RAW Compression On/Off (web workload)",
+        ["network", "compression", "data/page", "latency"],
+        [[label, "on" if on else "off",
+          format_mbytes(r.mean_page_bytes), format_ms(r.mean_latency)]
+         for (label, on), r in sorted(rows.items(),
+                                      key=lambda kv: (kv[0][0], not kv[0][1]))]))
+
+    for label in ("LAN", "8 Mbps"):
+        on = rows[(label, True)]
+        off = rows[(label, False)]
+        # PNG-model compression saves a large share of the page data.
+        assert on.mean_page_bytes < 0.7 * off.mean_page_bytes, label
+    # On the constrained link the savings buy latency too.
+    assert rows[("8 Mbps", True)].mean_latency < \
+        rows[("8 Mbps", False)].mean_latency

@@ -1,0 +1,51 @@
+"""Figure 2 — Web benchmark: average page latency per platform.
+
+Paper's shape: THINC is fastest in every configuration (up to ~1.7x in
+LAN, more in WAN); X suffers the largest LAN->WAN slowdown (~2.5x) from
+its synchronous client/server coupling; GoToMyPC takes seconds per page
+despite sending the least data; THINC beats the local PC because the
+server renders pages faster than the slow client.
+"""
+
+from conftest import WEB_PAGES
+
+from repro.baselines import LocalPCModel
+from repro.bench.experiments import web_figures
+from repro.net import LAN_DESKTOP
+from repro.workloads.web import make_page_set
+
+
+def test_fig2_web_latency(benchmark, show):
+    figures = benchmark.pedantic(web_figures, kwargs={"page_count": WEB_PAGES},
+                                 rounds=1, iterations=1)
+    show(figures.latency_table())
+
+    def latency(name, network):
+        return figures.runs[(name, network)].mean_latency
+
+    for network in ("LAN Desktop", "WAN Desktop"):
+        thinc = latency("THINC", network)
+        for other in ("X", "NX", "VNC", "SunRay", "RDP", "ICA", "GoToMyPC"):
+            assert thinc < latency(other, network), \
+                f"THINC must be fastest on {network} (vs {other})"
+
+    # X degrades by far the most going LAN -> WAN (paper: ~2.5x).
+    x_slowdown = latency("X", "WAN Desktop") / latency("X", "LAN Desktop")
+    thinc_slowdown = (latency("THINC", "WAN Desktop")
+                      / latency("THINC", "LAN Desktop"))
+    assert x_slowdown > 2.0
+    assert thinc_slowdown < x_slowdown
+
+    # GoToMyPC's heavy compression costs seconds per page.
+    assert latency("GoToMyPC", "WAN Desktop") > 1.0
+
+    # THINC outperforms the local PC (paper: by more than 60%).
+    model = LocalPCModel()
+    pages = make_page_set(count=WEB_PAGES)
+    local = sum(model.page_metrics(p.content_bytes, p.render_pixels,
+                                   LAN_DESKTOP)[0] for p in pages) / len(pages)
+    assert latency("THINC", "LAN Desktop") < local
+
+    # PDA: THINC fastest among small-screen-capable systems.
+    for other in ("VNC", "RDP", "ICA", "GoToMyPC"):
+        assert latency("THINC", "802.11g PDA") < latency(other, "802.11g PDA")

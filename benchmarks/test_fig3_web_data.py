@@ -1,0 +1,64 @@
+"""Figure 3 — Web benchmark: average per-page data transferred.
+
+Paper's shape: the local PC is the most bandwidth-efficient platform;
+among thin clients THINC sends less than everything except NX in the
+LAN; GoToMyPC sends the least of the thin clients (8-bit colour plus
+expensive compression); VNC's pixel scraping costs roughly twice
+THINC's data; adaptive systems (VNC, Sun Ray, NX) shrink significantly
+from LAN to WAN; server-side resizing cuts THINC's PDA data by more
+than 2x while client-resize systems save nothing.
+"""
+
+from conftest import WEB_PAGES
+
+from repro.baselines import LocalPCModel
+from repro.bench.experiments import web_figures
+from repro.net import LAN_DESKTOP
+from repro.workloads.web import make_page_set
+
+
+def test_fig3_web_data(benchmark, show):
+    figures = benchmark.pedantic(web_figures, kwargs={"page_count": WEB_PAGES},
+                                 rounds=1, iterations=1)
+    show(figures.data_table())
+
+    def data(name, network):
+        return figures.runs[(name, network)].mean_page_bytes
+
+    lan = "LAN Desktop"
+    wan = "WAN Desktop"
+    pda = "802.11g PDA"
+
+    # Local PC most efficient of all platforms.
+    model = LocalPCModel()
+    pages = make_page_set(count=WEB_PAGES)
+    local = sum(p.content_bytes for p in pages) / len(pages)
+    assert local < data("THINC", lan)
+
+    # THINC beats every thin client except NX in the LAN.
+    for other in ("X", "VNC", "SunRay", "RDP", "ICA"):
+        assert data("THINC", lan) < data(other, lan), other
+    assert data("NX", lan) < data("THINC", lan)
+
+    # VNC sends substantially more than THINC in the LAN (paper: THINC
+    # sends "almost half the data"; the exact ratio depends on the page
+    # mix — ours lands around 1.6x).
+    assert data("VNC", lan) > 1.4 * data("THINC", lan)
+
+    # GoToMyPC sends the least among thin clients in the WAN.
+    for other in ("THINC", "X", "NX", "VNC", "SunRay", "RDP", "ICA"):
+        assert data("GoToMyPC", wan) < data(other, wan), other
+
+    # Adaptive compression shrinks VNC and Sun Ray sharply LAN -> WAN.
+    assert data("VNC", wan) < 0.6 * data("VNC", lan)
+    assert data("SunRay", wan) < 0.6 * data("SunRay", lan)
+
+    # Server-side resize: THINC PDA data drops by more than 2x vs its
+    # desktop volume; client-resize/clip systems save nothing.
+    assert data("THINC", pda) < data("THINC", lan) / 2
+    assert data("ICA", pda) > 0.9 * data("ICA", lan)
+    assert data("VNC", pda) > 0.35 * data("VNC", lan)
+
+    # Among 24-bit PDA systems THINC transfers as little as a third.
+    for other in ("VNC", "RDP", "ICA"):
+        assert data("THINC", pda) < data(other, pda) / 2.5, other

@@ -1,0 +1,51 @@
+"""Figure 4 — THINC web latency from the Table 2 remote sites.
+
+Paper's shape: page latency stays sub-second at every site; the Korea
+site (the farthest, with a capped 256 KB TCP window) is the slowest;
+latency grows far more slowly than RTT — Finland's RTT is two orders of
+magnitude above the LAN's while its page latency is within ~2.5x.
+"""
+
+from conftest import REMOTE_PAGES
+
+from repro.bench.sites import REMOTE_SITES, site_link
+from repro.bench.testbed import run_web_benchmark
+from repro.net import LAN_DESKTOP
+from repro.bench.reporting import format_ms, format_table
+
+
+def run_remote_web():
+    results = {"LAN": run_web_benchmark("THINC", LAN_DESKTOP, "LAN",
+                                        page_count=REMOTE_PAGES)}
+    for site in REMOTE_SITES:
+        results[site.code] = run_web_benchmark(
+            "THINC", site_link(site), site.code, page_count=REMOTE_PAGES)
+    return results
+
+
+def test_fig4_web_remote(benchmark, show):
+    results = benchmark.pedantic(run_remote_web, rounds=1, iterations=1)
+    rows = [["(testbed LAN)", "0.2",
+             format_ms(results["LAN"].mean_latency)]]
+    for site in REMOTE_SITES:
+        rows.append([f"{site.code} {site.location}",
+                     f"{site.rtt * 1000:.0f}",
+                     format_ms(results[site.code].mean_latency)])
+    show(format_table(
+        "Figure 4 — THINC Average Page Latency Using Remote Sites",
+        ["site", "RTT (ms)", "latency"], rows))
+
+    latencies = {code: r.mean_latency for code, r in results.items()}
+
+    # Sub-second everywhere; Korea is the slowest site.
+    for code, latency in latencies.items():
+        assert latency < 1.0, code
+    assert latencies["KR"] == max(v for k, v in latencies.items()
+                                  if k != "LAN")
+
+    # Latency grows two orders of magnitude more slowly than RTT:
+    # Finland's RTT is >500x the LAN's, yet its pages pay only about
+    # one extra round trip over the LAN number.
+    fi = next(s for s in REMOTE_SITES if s.code == "FI")
+    assert fi.rtt / LAN_DESKTOP.rtt > 100
+    assert latencies["FI"] - latencies["LAN"] < 2 * fi.rtt

@@ -1,0 +1,61 @@
+"""Figure 6 — A/V benchmark: total data transferred.
+
+Paper's shape: the local PC streams the compressed file (<6 MB, about
+1.2 Mbps); THINC's perfect playback costs ~117 MB (~24 Mbps) on desktop
+networks; systems sending less than THINC do so only because they drop
+video; server-side resizing cuts THINC's PDA bandwidth to ~3.5 Mbps.
+"""
+
+from conftest import AV_FRAMES
+
+from repro.baselines import LocalPCModel
+from repro.bench.experiments import av_figures
+from repro.net import LAN_DESKTOP
+from repro.video.stream import BENCHMARK_CLIP
+
+
+def test_fig6_av_data(benchmark, show):
+    figures = benchmark.pedantic(av_figures, kwargs={"max_frames": AV_FRAMES},
+                                 rounds=1, iterations=1)
+    show(figures.data_table())
+
+    def run(name, network):
+        return figures.runs[(name, network)]
+
+    lan, wan, pda = "LAN Desktop", "WAN Desktop", "802.11g PDA"
+    clip = BENCHMARK_CLIP()
+
+    # Local PC: under 6 MB for the whole clip.
+    quality, nbytes = LocalPCModel().video_metrics(clip.duration,
+                                                   LAN_DESKTOP)
+    assert quality == 1.0
+    assert nbytes < 6e6
+
+    # THINC: ~117 MB full clip, ~24 Mbps, on LAN and WAN alike.
+    for network in (lan, wan):
+        thinc = run("THINC", network)
+        assert 90e6 < thinc.total_bytes_full_clip < 140e6, network
+        assert 20 < thinc.bandwidth_mbps < 30, network
+
+    # Anything below THINC's volume is dropping frames.
+    for name in ("X", "NX", "VNC", "SunRay", "RDP", "ICA", "GoToMyPC"):
+        r = run(name, lan)
+        if r.total_bytes_full_clip < run("THINC", lan).total_bytes_full_clip:
+            dropped_or_stretched = (
+                r.frames_received < r.frames_sent
+                or r.actual_duration > 1.5 * r.ideal_duration)
+            assert dropped_or_stretched, name
+
+    # GoToMyPC sends the least data — and has the worst quality.
+    g = run("GoToMyPC", wan)
+    assert g.total_bytes_full_clip == min(
+        run(p, wan).total_bytes_full_clip
+        for p in ("THINC", "X", "NX", "VNC", "SunRay", "RDP", "ICA",
+                  "GoToMyPC"))
+
+    # Server-side resize: THINC PDA bandwidth ~3.5 Mbps, far below the
+    # other PDA systems, at full quality.
+    thinc_pda = run("THINC", pda)
+    assert thinc_pda.bandwidth_mbps < 6
+    assert thinc_pda.av_quality > 0.99
+    assert thinc_pda.bandwidth_mbps < run("RDP", pda).bandwidth_mbps

@@ -1,0 +1,135 @@
+"""Microbenchmarks of the hot core data structures.
+
+Unlike the figure benchmarks (single-shot system simulations), these
+use pytest-benchmark conventionally: many rounds over the operations
+the THINC server performs per update — translation bookkeeping must be
+cheap or the virtual-driver premise collapses.
+"""
+
+import numpy as np
+
+from repro.core import ClientBuffer, CommandQueue
+from repro.core.resize import DisplayScaler, resample
+from repro.core.scheduler import SRSFScheduler
+from repro.protocol import compression
+from repro.protocol.commands import (BitmapCommand, RawCommand,
+                                     SFillCommand, decode_command)
+from repro.region import Rect, Region
+
+RED = (255, 0, 0, 255)
+RNG = np.random.default_rng(42)
+PHOTO = RNG.integers(0, 256, (64, 64, 4), dtype=np.uint8)
+
+
+def test_micro_command_queue_add_evict(benchmark):
+    """Adding 50 mutually overwriting commands (eviction churn)."""
+
+    def run():
+        queue = CommandQueue()
+        for i in range(50):
+            queue.add(SFillCommand(Rect((i * 7) % 80, (i * 11) % 60,
+                                        24, 18), RED))
+        return len(queue)
+
+    result = benchmark(run)
+    assert result <= 50
+
+
+def test_micro_glyph_merge(benchmark):
+    """A 40-glyph text line merging into one BITMAP."""
+    mask = np.ones((7, 5), dtype=bool)
+
+    def run():
+        queue = CommandQueue()
+        for i in range(40):
+            queue.add(BitmapCommand(Rect(i * 6, 0, 5, 7), mask, RED, None))
+        return len(queue)
+
+    assert benchmark(run) == 1
+
+
+def test_micro_srsf_order(benchmark):
+    """Ordering a 200-command buffer (every flush period pays this)."""
+    scheduler = SRSFScheduler()
+    commands = []
+    for i in range(200):
+        cmd = SFillCommand(Rect((i * 13) % 900, (i * 7) % 600, 10, 10), RED)
+        cmd.seq = i
+        commands.append(cmd)
+
+    result = benchmark(scheduler.order, commands)
+    assert len(result) == 200
+
+
+def test_micro_raw_encode(benchmark):
+    """PNG-model compression of a 64x64 photo block."""
+
+    def run():
+        cmd = RawCommand(Rect(0, 0, 64, 64), PHOTO)
+        return cmd.wire_size()
+
+    assert benchmark(run) > 0
+
+
+def test_micro_raw_decode(benchmark):
+    """Client-side decode of the same block."""
+    wire_bytes = RawCommand(Rect(0, 0, 64, 64), PHOTO).encode()
+
+    result = benchmark(decode_command, wire_bytes)
+    assert result.dest.area == 64 * 64
+
+
+def test_micro_rle_size(benchmark):
+    """Vectorised RLE sizing (the scraper baselines' hot path)."""
+    result = benchmark(compression.rle_size, PHOTO)
+    assert result > 0
+
+
+def test_micro_region_union(benchmark):
+    """Region algebra under damage-style rect streams."""
+
+    def run():
+        region = Region()
+        for i in range(60):
+            region.add(Rect((i * 37) % 500, (i * 53) % 400, 60, 40))
+        return region.area
+
+    assert benchmark(run) > 0
+
+
+def test_micro_resample(benchmark):
+    """Fant-style resampling of a 256x192 block to PDA scale."""
+    block = RNG.integers(0, 256, (192, 256, 4), dtype=np.uint8)
+
+    result = benchmark(resample, block, 80, 60)
+    assert result.shape == (60, 80, 4)
+
+
+def test_micro_scale_command(benchmark):
+    """Full per-command scaling policy for one RAW update."""
+    scaler = DisplayScaler((1024, 768), (320, 240))
+    cmd = RawCommand(Rect(0, 0, 64, 64), PHOTO, compress=False)
+
+    result = benchmark(scaler.scale_command, cmd)
+    assert len(result) == 1
+
+
+def test_micro_buffer_flush(benchmark):
+    """Buffer + flush cycle for a burst of small updates."""
+
+    class NullWriter:
+        def writable_bytes(self):
+            return 1 << 20
+
+        def write(self, data):
+            pass
+
+    def run():
+        buf = ClientBuffer()
+        for i in range(40):
+            buf.add(SFillCommand(Rect((i * 31) % 600, (i * 17) % 400,
+                                      12, 12), RED))
+        buf.flush(NullWriter())
+        return buf.pending_commands()
+
+    assert benchmark(run) == 0

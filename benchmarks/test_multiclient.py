@@ -1,0 +1,70 @@
+"""Screen-sharing scalability: one session, N clients.
+
+The paper's introduction sells display multiplexing — "groups of users
+distributed over large geographical locations can seamlessly
+collaborate using a single shared computing session."  This bench
+measures what sharing costs: with N attached clients the server
+translates once but buffers/sends per client, so total bytes grow
+linearly while per-client delivery latency stays flat (each client has
+its own connection; the shared work is the cheap translation).
+"""
+
+from repro.bench.reporting import format_mbytes, format_ms, format_table
+from repro.core import THINCClient, THINCServer
+from repro.display import WindowServer
+from repro.net import Connection, EventLoop, LAN_DESKTOP, PacketMonitor
+from repro.workloads.web import WebBrowserApp, make_page_set
+
+PAGES = 4
+CLIENT_COUNTS = [1, 2, 4, 8]
+
+
+def run_shared_session(n_clients: int):
+    loop = EventLoop()
+    monitor = PacketMonitor()
+    server = THINCServer(loop, 1024, 768)
+    ws = WindowServer(1024, 768, driver=server.driver, clock=loop.clock)
+    clients = []
+    for _ in range(n_clients):
+        conn = Connection(loop, LAN_DESKTOP, monitor=monitor)
+        server.attach_client(conn)
+        clients.append(THINCClient(loop, conn, headless=True))
+    browser = WebBrowserApp(ws, make_page_set(count=PAGES))
+    finish_times = []
+    for index in range(PAGES):
+        start = loop.now
+        browser.render_page(index)
+        loop.run_until_idle(max_time=start + 30)
+        finish_times.append(loop.now - start)
+    total = monitor.total_bytes("server->client")
+    mean_latency = sum(finish_times) / len(finish_times)
+    return total, mean_latency
+
+
+def run_scalability():
+    return {n: run_shared_session(n) for n in CLIENT_COUNTS}
+
+
+def test_multiclient_scalability(benchmark, show):
+    results = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    show(format_table(
+        "Screen sharing: one session, N clients (4 pages, LAN)",
+        ["clients", "total bytes", "per-client bytes", "page time"],
+        [[n, format_mbytes(total), format_mbytes(total / n),
+          format_ms(latency)]
+         for n, (total, latency) in sorted(results.items())]))
+
+    one_total, one_latency = results[1]
+    for n in CLIENT_COUNTS[1:]:
+        total, latency = results[n]
+        # Bytes scale linearly (each client gets the full stream)...
+        assert total == pytest_approx(n * one_total, rel=0.05), n
+        # ...while delivery time stays essentially flat: translation is
+        # shared, per-client work is buffered sends on separate pipes.
+        assert latency < one_latency * 2.0, n
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Small-screen navigation: zoomed-out overview, then zoom in.
+
+Section 6's interaction model for handhelds: the PDA first shows a
+zoomed-out rendition of the whole desktop; the user picks a region and
+zooms in; the server rescales all subsequent updates from that region
+and pushes a refresh with the detail the client never had.  All the
+resampling happens server-side — the handheld only ever executes plain
+protocol commands.
+
+Run:  python examples/pda_navigation.py
+"""
+
+from repro.core import THINCClient, THINCServer
+from repro.display import WindowServer
+from repro.net import Connection, EventLoop, PDA_80211G, PacketMonitor
+from repro.region import Rect
+from repro.workloads.web import WebBrowserApp, make_page_set
+
+VIEWPORT = (320, 240)
+
+
+def legibility(client, text_rect):
+    """A crude legibility proxy: contrast inside the text area."""
+    region = client.fb.read_pixels(text_rect)
+    return int(region[..., :3].astype(int).max()
+               - region[..., :3].astype(int).min())
+
+
+def main() -> None:
+    loop = EventLoop()
+    monitor = PacketMonitor()
+    conn = Connection(loop, PDA_80211G, monitor=monitor)
+    server = THINCServer(loop, 1024, 768)
+    ws = WindowServer(1024, 768, driver=server.driver, clock=loop.clock)
+    server.attach_client(conn, viewport=VIEWPORT)
+    client = THINCClient(loop, conn)
+
+    # A full web page renders on the 1024x768 session.
+    browser = WebBrowserApp(ws, make_page_set(count=1))
+    browser.render_page(0)
+    loop.run_until_idle(max_time=10)
+    overview_bytes = monitor.total_bytes("server->client")
+    text_area = Rect(10, 20, 140, 40)  # body text, in client coords
+    overview_contrast = legibility(client, text_area)
+
+    # The user zooms in on the page's upper-left article column.
+    client.request_zoom(Rect(0, 0, 512, 384))
+    loop.run_until_idle(max_time=10)
+    zoom_bytes = monitor.total_bytes("server->client") - overview_bytes
+    zoom_contrast = legibility(client, text_area)
+
+    print(f"viewport                  : {VIEWPORT[0]}x{VIEWPORT[1]} "
+          f"showing a 1024x768 session")
+    print(f"overview (whole desktop)  : {overview_bytes:,} bytes, "
+          f"text contrast {overview_contrast}")
+    print(f"zoomed (512x384 region)   : +{zoom_bytes:,} bytes for the "
+          f"refresh, text contrast {zoom_contrast}")
+    print(f"zoom sharpened the text   : {zoom_contrast > overview_contrast}")
+    print("(anti-aliased server-side resampling keeps even the overview "
+          "readable,")
+    print(" unlike the client-side resize the paper compares against)")
+
+
+if __name__ == "__main__":
+    main()

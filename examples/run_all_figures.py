@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation in one run.
+
+This is the driver used to produce EXPERIMENTS.md: it runs the web and
+A/V benchmarks over the three testbed networks and the eleven remote
+sites and prints the six figure tables.  Scale knobs:
+
+    python examples/run_all_figures.py              # default (fast)
+    python examples/run_all_figures.py --pages 54 --frames 834   # paper scale
+
+At paper scale expect a long run; the defaults (8 pages, 120 frames)
+measure the same steady-state quantities in a few minutes.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (av_figures, fig4_web_remote,
+                                     fig7_av_remote, web_figures)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pages", type=int, default=8,
+                        help="web pages per run (paper: 54)")
+    parser.add_argument("--frames", type=int, default=120,
+                        help="video frames per run (paper: 834)")
+    parser.add_argument("--remote-pages", type=int, default=4)
+    parser.add_argument("--remote-frames", type=int, default=96)
+    args = parser.parse_args()
+
+    t0 = time.time()
+    web = web_figures(args.pages)
+    print(web.latency_table())
+    print()
+    print(web.data_table())
+    print()
+    print(fig4_web_remote(args.remote_pages))
+    print()
+    av = av_figures(args.frames)
+    print(av.quality_table())
+    print()
+    print(av.data_table())
+    print()
+    print(fig7_av_remote(args.remote_frames))
+    print()
+    print(f"[all figures regenerated in {time.time() - t0:.0f} s "
+          f"({args.pages} pages, {args.frames} frames)]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Web browsing comparison: THINC vs X vs VNC across LAN and WAN.
+
+Reproduces a slice of the paper's Figure 2/3 methodology interactively:
+the i-Bench-style page sequence is clicked through on each platform and
+slow-motion benchmarking reads latency and data volume from the packet
+trace.  Watch two effects the paper highlights:
+
+* X's synchronous client/server coupling makes it degrade far more
+  than THINC when the RTT grows (LAN -> WAN), and
+* VNC's screen scraping costs a multiple of THINC's data because the
+  drawing semantics are gone by the time pixels leave the server.
+
+Run:  python examples/web_browsing.py  [pages]
+"""
+
+import sys
+
+from repro.bench.reporting import format_mbytes, format_ms, format_table
+from repro.bench.testbed import run_web_benchmark
+from repro.net import LAN_DESKTOP, WAN_DESKTOP
+
+PLATFORMS = ["THINC", "X", "VNC"]
+
+
+def main(pages: int = 6) -> None:
+    rows = []
+    slowdowns = {}
+    for network, link, wan in [("LAN", LAN_DESKTOP, False),
+                               ("WAN 66ms", WAN_DESKTOP, True)]:
+        for name in PLATFORMS:
+            run = run_web_benchmark(name, link, network, page_count=pages,
+                                    wan_mode=wan)
+            rows.append([name, network, format_ms(run.mean_latency),
+                         format_mbytes(run.mean_page_bytes)])
+            slowdowns.setdefault(name, []).append(run.mean_latency)
+    print(format_table(
+        "Web browsing: THINC vs X vs VNC",
+        ["platform", "network", "page latency", "data/page"], rows))
+    print()
+    for name, (lan, wan) in slowdowns.items():
+        print(f"{name:6s} LAN->WAN slowdown: {wan / lan:4.1f}x")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

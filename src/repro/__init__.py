@@ -1,0 +1,25 @@
+"""THINC reproduction: a virtual display architecture for thin-client computing.
+
+This package reimplements, in simulation, the full system described in
+"THINC: A Virtual Display Architecture for Thin-Client Computing"
+(Baratto, Kim, Nieh - SOSP 2005): the THINC translation layer, command
+queues, SRSF delivery scheduler, server-side scaling and A/V support,
+together with the substrates the paper's evaluation depends on (a window
+server with a driver interface, a discrete-event network simulator, and
+behavioural models of the baseline thin-client systems).
+
+Public entry points:
+
+- :mod:`repro.core` - THINC server/client and translation machinery.
+- :mod:`repro.display` - simulated window server + video driver interface.
+- :mod:`repro.baselines` - VNC / X / NX / Sun Ray / RDP / ICA / GoToMyPC.
+- :mod:`repro.workloads` - web-browsing and audio/video workloads.
+- :mod:`repro.bench` - the slow-motion benchmarking harness that
+  regenerates every figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from .region import Rect, Region
+
+__all__ = ["Rect", "Region", "__version__"]

@@ -1,0 +1,12 @@
+"""Audio support: virtual audio driver and A/V sync analysis."""
+
+from .driver import AudioFormat, VirtualAudioDriver
+from .sync import audio_quality, av_sync_skew, playback_quality
+
+__all__ = [
+    "AudioFormat",
+    "VirtualAudioDriver",
+    "audio_quality",
+    "av_sync_skew",
+    "playback_quality",
+]

@@ -1,0 +1,34 @@
+"""Behavioural models of the thin-client systems THINC is compared to."""
+
+from .base import (BaselineClient, ClientCosts, Encoder, ForwardServer,
+                   ScrapeServer, quantize_8bit)
+from .gotomypc import MIN_VIEWPORT, RELAY_EXTRA_RTT, GoToMyPCEncoder
+from .localpc import LocalPCModel
+from .nx import NX_SYNC_EVERY, NXPricer
+from .rdp import (ICA_AUDIO_COMPRESSION, RDP_AUDIO_COMPRESSION, OrdersPricer)
+from .sunray import SunRayEncoder
+from .vnc import VncEncoder
+from .xproto import SSH_STREAM_COMPRESSION, X_SYNC_EVERY, price_x_command
+
+__all__ = [
+    "Encoder",
+    "ScrapeServer",
+    "ForwardServer",
+    "BaselineClient",
+    "ClientCosts",
+    "quantize_8bit",
+    "VncEncoder",
+    "GoToMyPCEncoder",
+    "RELAY_EXTRA_RTT",
+    "MIN_VIEWPORT",
+    "SunRayEncoder",
+    "price_x_command",
+    "X_SYNC_EVERY",
+    "SSH_STREAM_COMPRESSION",
+    "NXPricer",
+    "NX_SYNC_EVERY",
+    "OrdersPricer",
+    "RDP_AUDIO_COMPRESSION",
+    "ICA_AUDIO_COMPRESSION",
+    "LocalPCModel",
+]

@@ -1,0 +1,47 @@
+"""GoToMyPC: relay-hosted, 8-bit, heavily compressed screen scraping.
+
+Per the paper: a client-pull pixel system limited to 8-bit colour that
+routes every byte through an intermediate hosted server (adding ~70 ms
+of round-trip), spends a great deal of CPU on complex compression (it
+sends the *least* data of all systems in Figure 3 while taking almost
+three seconds per page in Figure 2), has no audio support, and resizes
+on the client for small screens with a minimum 640x480 viewport.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .base import Encoder
+
+__all__ = ["GoToMyPCEncoder", "RELAY_EXTRA_RTT", "MIN_VIEWPORT"]
+
+# Measured in the paper: ~70 ms RTT through the hosted relay.
+RELAY_EXTRA_RTT = 0.070
+# GoToMyPC cannot render viewports below 640x480.
+MIN_VIEWPORT = (640, 480)
+
+# The "complex compression algorithms ... at the expense of high server
+# utilization": model as best-effort DEFLATE at a throughput far below
+# the cheap codecs.
+_HEAVY_ZLIB_RATE = 1.3e6
+
+
+class GoToMyPCEncoder(Encoder):
+    """Maximum-effort compression of already-quantised 8-bit pixels."""
+
+    name = "gotomypc"
+
+    def encode_size(self, pixels: np.ndarray) -> int:
+        # 8-bit colour: one byte per pixel on the wire before DEFLATE.
+        packed = (
+            (pixels[..., 0] & 0xE0)
+            | ((pixels[..., 1] & 0xE0) >> 3)
+            | ((pixels[..., 2] & 0xC0) >> 6)
+        ).astype(np.uint8)
+        return len(zlib.compress(packed.tobytes(), 9)) + 8
+
+    def cpu_cost(self, pixels: np.ndarray) -> float:
+        return pixels.nbytes / _HEAVY_ZLIB_RATE

@@ -1,0 +1,60 @@
+"""The local PC baseline: applications running on the client itself.
+
+The paper's control case — today's prevalent desktop model.  No remote
+display protocol exists; what crosses the network is application
+*content* (HTTP page bytes, the compressed MPEG stream), and rendering
+happens on the client's own, much slower CPU.  This is why the local PC
+is the most bandwidth-efficient platform in Figures 3 and 6 while
+THINC still beats its page latency by >60% (Figure 2): the thin server
+renders pages faster than a 450 MHz client can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.link import LinkParams
+
+__all__ = ["LocalPCModel"]
+
+
+@dataclass
+class LocalPCModel:
+    """Analytic model of local execution on the client machine."""
+
+    # Client CPU relative to the thin-client server (450 MHz PII vs a
+    # dual 933 MHz PIII Netfinity).
+    cpu_slowdown: float = 2.2
+    # Page rendering throughput of the *server-class* machine, pixels/s
+    # (layout + raster for mixed content).
+    render_rate: float = 60e6
+    # HTML/CSS/JS parse cost per content byte on the server-class CPU.
+    parse_rate: float = 4e6
+    # The benchmark clip's encoded bitrate: the paper measures the local
+    # PC at <6 MB over the 34.75 s clip, about 1.2 Mbps.
+    video_bitrate_bps: float = 1.2e6
+
+    def page_metrics(self, content_bytes: int, render_pixels: int,
+                     link: LinkParams):
+        """(latency seconds, bytes transferred) for one page load.
+
+        Latency = request RTT + content transfer + client-side parse and
+        render at the slow client's speed.
+        """
+        transfer = content_bytes / link.throughput
+        compute = (content_bytes / self.parse_rate
+                   + render_pixels / self.render_rate) * self.cpu_slowdown
+        latency = link.effective_rtt + transfer + compute
+        return latency, content_bytes
+
+    def video_metrics(self, duration: float, link: LinkParams):
+        """(A/V quality, bytes transferred) for local playback.
+
+        The client streams the compressed file and decodes locally; as
+        long as the link carries the encoded bitrate (every tested
+        network does), playback is perfect.
+        """
+        nbytes = int(self.video_bitrate_bps / 8 * duration)
+        needed = self.video_bitrate_bps / 8
+        quality = min(1.0, link.throughput / needed)
+        return quality, nbytes

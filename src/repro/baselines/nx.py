@@ -1,0 +1,73 @@
+"""NX: an X proxy with aggressive compression and round-trip removal.
+
+NoMachine's NX keeps X's high-level command stream but interposes a
+proxy pair that (a) answers almost all synchronous requests locally,
+eliminating the round trips that sink plain X in WANs, (b) applies
+differential encoding and a protocol-aware cache so repeated content is
+nearly free, and (c) compresses images with a proper image codec rather
+than a byte-stream DEFLATE.  In its WAN profile it trades more CPU for
+still-smaller output — in Figure 3 NX is the only thin client to beat
+THINC on per-page data, while Figure 5 shows its video quality is the
+*worst* on the LAN (12%): expensive codecs cannot keep up with a frame
+stream they cannot recognise as video.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..display.xserver import AppCommand
+from ..protocol import compression
+from .xproto import _SMALL_REQUEST, _VideoRatioCache
+
+__all__ = ["NXPricer", "NX_SYNC_EVERY"]
+
+# The proxy answers nearly everything locally; a rare cache miss still
+# costs a round trip.
+NX_SYNC_EVERY = 150
+
+_IMAGE_RATE_LAN = 6.5e6  # PNG-class codec throughput (PIII-era)
+_IMAGE_RATE_WAN = 5e6  # WAN profile: maximum-effort settings
+
+
+class NXPricer:
+    """Prices X commands the way the NX proxy re-encodes them."""
+
+    def __init__(self, wan_mode: bool = False):
+        self.wan_mode = wan_mode
+        # Differential protocol encoding shrinks the small-request
+        # stream dramatically (headers repeat almost verbatim).
+        self.request_factor = 0.25
+        self._video_cache = _VideoRatioCache()
+
+    def _image(self, drawable, rect) -> Tuple[int, float]:
+        pixels = drawable.fb.read_pixels(rect)
+        level = 9 if self.wan_mode else 6
+        payload = len(compression.png_compress(pixels[..., :3], level=level))
+        rate = _IMAGE_RATE_WAN if self.wan_mode else _IMAGE_RATE_LAN
+        return payload + 8, pixels.nbytes / rate
+
+    def __call__(self, command: AppCommand, server) -> Tuple[int, float]:
+        name = command.name
+        rect = command.rect
+        small = max(2, int(_SMALL_REQUEST * self.request_factor))
+        if name in ("fill_rect", "copy_area", "fill_tiled", "video_setup",
+                    "video_move", "video_teardown", "draw_line",
+                    "draw_polyline", "draw_rect_outline"):
+            return small, 0.0
+        if name in ("draw_text", "draw_text_aa"):
+            text = command.payload if isinstance(command.payload, str) else ""
+            # Glyph stream after the NX text cache: ~1 byte per glyph.
+            return small + max(len(text), 1), 0.0
+        if name in ("put_image", "fill_stipple", "composite"):
+            return self._image(command.drawable, rect)
+        if name == "video_put":
+            pixels = server.ws.screen.fb.read_pixels(rect)
+            ratio = self._video_cache.ratio(("nx", command.payload,
+                                             self.wan_mode), pixels)
+            # NX recompresses each frame as an image: effective but
+            # extremely CPU-hungry at video rates.
+            rate = _IMAGE_RATE_WAN if self.wan_mode else _IMAGE_RATE_LAN
+            nbytes = int(rect.area * 3 * ratio * 0.8) + small
+            return nbytes, rect.area * 3 / rate
+        return small, 0.0

@@ -1,0 +1,273 @@
+"""The paper's evaluation, experiment by experiment.
+
+One function per figure of Section 8 (plus the local-PC control rows).
+Each returns structured results and can render the same table the paper
+plots.  ``scale`` trades run time for fidelity: 1.0 reproduces the full
+54-page / 834-frame workloads; smaller values truncate them (byte
+totals for A/V are extrapolated — playback is steady-state — and page
+means are over the truncated prefix).
+
+Index:
+
+=========  ==========================================================
+fig2       Web benchmark: average page latency (LAN/WAN/PDA)
+fig3       Web benchmark: average per-page data (LAN/WAN/PDA)
+fig4       THINC web latency from the Table 2 remote sites
+fig5       A/V benchmark: A/V quality (LAN/WAN/PDA)
+fig6       A/V benchmark: total data transferred (LAN/WAN/PDA)
+fig7       THINC A/V quality + relative bandwidth from remote sites
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines import LocalPCModel
+from ..net import LAN_DESKTOP, PDA_80211G, WAN_DESKTOP, LinkParams
+from ..video.stream import BENCHMARK_CLIP
+from ..workloads.web import make_page_set
+from .reporting import format_mbytes, format_ms, format_pct, format_table
+from .sites import REMOTE_SITES, site_link
+from .slowmotion import AVRunResult, WebRunResult
+from .testbed import (AV_PLATFORMS, WEB_PDA_PLATFORMS, WEB_PLATFORMS,
+                      run_av_benchmark, run_web_benchmark)
+
+__all__ = ["fig2_web_latency", "fig3_web_data", "fig4_web_remote",
+           "fig5_av_quality", "fig6_av_data", "fig7_av_remote",
+           "WebFigures", "AVFigures", "PDA_VIEWPORT"]
+
+PDA_VIEWPORT = (320, 240)
+
+# The networks of Section 8.1, in figure order.
+_WEB_CONFIGS: List[Tuple[str, LinkParams, bool, Optional[Tuple[int, int]]]] = [
+    ("LAN Desktop", LAN_DESKTOP, False, None),
+    ("WAN Desktop", WAN_DESKTOP, True, None),
+    ("802.11g PDA", PDA_80211G, False, PDA_VIEWPORT),
+]
+
+# Platforms shown per network in Figures 5/6's PDA series.
+AV_PDA_PLATFORMS = ["THINC", "RDP", "ICA", "GoToMyPC"]
+
+
+def _local_pc_page_metrics(link: LinkParams, page_count: int,
+                           seed: int = 54):
+    """Mean (latency, bytes) for the local PC over the page set."""
+    model = LocalPCModel()
+    pages = make_page_set(count=page_count)
+    metrics = [model.page_metrics(p.content_bytes, p.render_pixels, link)
+               for p in pages]
+    mean_latency = sum(m[0] for m in metrics) / len(metrics)
+    mean_bytes = sum(m[1] for m in metrics) / len(metrics)
+    return mean_latency, mean_bytes
+
+
+@dataclass
+class WebFigures:
+    """Raw material for Figures 2 and 3."""
+
+    page_count: int
+    runs: Dict[Tuple[str, str], WebRunResult] = field(default_factory=dict)
+    local_pc: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def latency_table(self) -> str:
+        rows = []
+        for network, _, _, _ in _WEB_CONFIGS:
+            if network in self.local_pc and network != "802.11g PDA":
+                latency, _ = self.local_pc[network]
+                rows.append(["local PC", network, format_ms(latency), "-"])
+            for name in WEB_PLATFORMS:
+                run = self.runs.get((name, network))
+                if run is None:
+                    continue
+                rows.append([
+                    name, network,
+                    format_ms(run.mean_latency),
+                    format_ms(run.mean_latency_with_processing),
+                ])
+        return format_table(
+            "Figure 2 — Web Benchmark: Average Page Latency",
+            ["platform", "network", "latency", "latency+client"],
+            rows,
+            note=f"{self.page_count} pages per run "
+                 "(paper: 54; means are stable after ~8)",
+        )
+
+    def data_table(self) -> str:
+        rows = []
+        for network, _, _, _ in _WEB_CONFIGS:
+            if network in self.local_pc and network != "802.11g PDA":
+                _, nbytes = self.local_pc[network]
+                rows.append(["local PC", network, format_mbytes(nbytes)])
+            for name in WEB_PLATFORMS:
+                run = self.runs.get((name, network))
+                if run is None:
+                    continue
+                rows.append([name, network,
+                             format_mbytes(run.mean_page_bytes)])
+        return format_table(
+            "Figure 3 — Web Benchmark: Average Page Data Transferred",
+            ["platform", "network", "data/page"],
+            rows,
+        )
+
+
+def _run_web_figures(page_count: int = 8) -> WebFigures:
+    figures = WebFigures(page_count=page_count)
+    for network, link, wan, viewport in _WEB_CONFIGS:
+        if viewport is None:
+            figures.local_pc[network] = _local_pc_page_metrics(
+                link, page_count)
+        names = WEB_PLATFORMS if viewport is None else WEB_PDA_PLATFORMS
+        for name in names:
+            figures.runs[(name, network)] = run_web_benchmark(
+                name, link, network, page_count=page_count,
+                viewport=viewport, wan_mode=wan)
+    return figures
+
+
+_web_cache: Dict[int, WebFigures] = {}
+
+
+def web_figures(page_count: int = 8) -> WebFigures:
+    """Figures 2 and 3 share their runs; results are cached per size."""
+    if page_count not in _web_cache:
+        _web_cache[page_count] = _run_web_figures(page_count)
+    return _web_cache[page_count]
+
+
+def fig2_web_latency(page_count: int = 8) -> str:
+    return web_figures(page_count).latency_table()
+
+
+def fig3_web_data(page_count: int = 8) -> str:
+    return web_figures(page_count).data_table()
+
+
+def fig4_web_remote(page_count: int = 5) -> str:
+    """THINC page latency from each Table 2 site."""
+    rows = []
+    lan = run_web_benchmark("THINC", LAN_DESKTOP, "testbed LAN",
+                            page_count=page_count)
+    rows.append(["(testbed)", "0", format_ms(lan.mean_latency)])
+    for site in REMOTE_SITES:
+        run = run_web_benchmark("THINC", site_link(site), site.code,
+                                page_count=page_count)
+        rows.append([f"{site.code} {site.location}",
+                     f"{site.rtt * 1000:.0f}",
+                     format_ms(run.mean_latency)])
+    return format_table(
+        "Figure 4 — Web Benchmark: THINC Page Latency from Remote Sites",
+        ["site", "RTT (ms)", "latency"],
+        rows,
+        note="PlanetLab sites use 256 KB TCP windows; others 1 MB",
+    )
+
+
+@dataclass
+class AVFigures:
+    """Raw material for Figures 5 and 6."""
+
+    max_frames: int
+    runs: Dict[Tuple[str, str], AVRunResult] = field(default_factory=dict)
+    local_pc: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def quality_table(self) -> str:
+        rows = []
+        for network, _, _, viewport in _WEB_CONFIGS:
+            if network in self.local_pc and network != "802.11g PDA":
+                quality, _ = self.local_pc[network]
+                rows.append(["local PC", network, format_pct(quality)])
+            names = AV_PLATFORMS if viewport is None else AV_PDA_PLATFORMS
+            for name in names:
+                run = self.runs.get((name, network))
+                if run is None:
+                    continue
+                label = name
+                if name in ("VNC", "GoToMyPC"):
+                    label += " (video only)"
+                rows.append([label, network, format_pct(run.av_quality)])
+        return format_table(
+            "Figure 5 — A/V Benchmark: A/V Quality",
+            ["platform", "network", "A/V quality"],
+            rows,
+            note="GoToMyPC and VNC have no audio support",
+        )
+
+    def data_table(self) -> str:
+        clip = BENCHMARK_CLIP()
+        rows = []
+        for network, _, _, viewport in _WEB_CONFIGS:
+            if network in self.local_pc and network != "802.11g PDA":
+                _, nbytes = self.local_pc[network]
+                rows.append(["local PC", network, format_mbytes(nbytes),
+                             f"{nbytes * 8 / clip.duration / 1e6:.1f}"])
+            names = AV_PLATFORMS if viewport is None else AV_PDA_PLATFORMS
+            for name in names:
+                run = self.runs.get((name, network))
+                if run is None:
+                    continue
+                rows.append([name, network,
+                             format_mbytes(run.total_bytes_full_clip),
+                             f"{run.bandwidth_mbps:.1f}"])
+        return format_table(
+            "Figure 6 — A/V Benchmark: Total Data Transferred",
+            ["platform", "network", "total data (full clip)", "Mbps"],
+            rows,
+            note="systems below THINC's volume are dropping video data",
+        )
+
+
+def _run_av_figures(max_frames: int = 120) -> AVFigures:
+    figures = AVFigures(max_frames=max_frames)
+    model = LocalPCModel()
+    clip = BENCHMARK_CLIP()
+    for network, link, wan, viewport in _WEB_CONFIGS:
+        if viewport is None:
+            quality, nbytes = model.video_metrics(clip.duration, link)
+            figures.local_pc[network] = (quality, nbytes)
+        names = AV_PLATFORMS if viewport is None else AV_PDA_PLATFORMS
+        for name in names:
+            figures.runs[(name, network)] = run_av_benchmark(
+                name, link, network, max_frames=max_frames,
+                viewport=viewport, wan_mode=wan)
+    return figures
+
+
+_av_cache: Dict[int, AVFigures] = {}
+
+
+def av_figures(max_frames: int = 120) -> AVFigures:
+    if max_frames not in _av_cache:
+        _av_cache[max_frames] = _run_av_figures(max_frames)
+    return _av_cache[max_frames]
+
+
+def fig5_av_quality(max_frames: int = 120) -> str:
+    return av_figures(max_frames).quality_table()
+
+
+def fig6_av_data(max_frames: int = 120) -> str:
+    return av_figures(max_frames).data_table()
+
+
+def fig7_av_remote(max_frames: int = 96) -> str:
+    """THINC A/V quality and relative bandwidth from each remote site."""
+    lan = run_av_benchmark("THINC", LAN_DESKTOP, "testbed LAN",
+                           max_frames=max_frames)
+    rows = [["(testbed)", format_pct(lan.av_quality), "100%"]]
+    for site in REMOTE_SITES:
+        link = site_link(site)
+        run = run_av_benchmark("THINC", link, site.code,
+                               max_frames=max_frames)
+        relative = link.throughput / LAN_DESKTOP.throughput
+        rows.append([f"{site.code} {site.location}",
+                     format_pct(run.av_quality),
+                     format_pct(min(relative, 1.0))])
+    return format_table(
+        "Figure 7 — A/V Benchmark: THINC Quality from Remote Sites",
+        ["site", "A/V quality", "relative bandwidth"],
+        rows,
+        note="Korea's PlanetLab node is capped at a 256 KB TCP window",
+    )

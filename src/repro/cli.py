@@ -1,0 +1,189 @@
+"""Command-line interface for the THINC reproduction.
+
+Subcommands::
+
+    python -m repro figures   [--pages N] [--frames N] [--only fig5]
+    python -m repro demo      [--width W] [--height H] [--network lan|wan|pda]
+    python -m repro trace     record <out.trace> | show <in.trace>
+    python -m repro sites
+
+`figures` regenerates the paper's evaluation tables; `demo` runs a
+scripted desktop session and reports what crossed the wire; `trace`
+records a demo session's downstream protocol bytes to a file or
+summarises an existing trace; `sites` prints the Table 2 site models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args) -> int:
+    from .bench import experiments
+
+    wanted = args.only
+    printed = False
+
+    def emit(name: str, render) -> None:
+        nonlocal printed
+        if wanted and wanted not in name:
+            return
+        if printed:
+            print()
+        print(render())
+        printed = True
+
+    emit("fig2", lambda: experiments.fig2_web_latency(args.pages))
+    emit("fig3", lambda: experiments.fig3_web_data(args.pages))
+    emit("fig4", lambda: experiments.fig4_web_remote(
+        max(2, args.pages // 2)))
+    emit("fig5", lambda: experiments.fig5_av_quality(args.frames))
+    emit("fig6", lambda: experiments.fig6_av_data(args.frames))
+    emit("fig7", lambda: experiments.fig7_av_remote(
+        max(24, args.frames * 4 // 5)))
+    if not printed:
+        print(f"no figure matches {wanted!r} "
+              "(use fig2..fig7)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _build_demo(network: str, width: int, height: int, trace_path=None):
+    from .core import THINCClient, THINCServer
+    from .display import WindowServer
+    from .display.wm import WindowManager
+    from .net import (Connection, EventLoop, NETWORK_CONFIGS,
+                      PacketMonitor)
+    from .region import Rect
+
+    link = NETWORK_CONFIGS[network]
+    loop = EventLoop()
+    monitor = PacketMonitor()
+    conn = Connection(loop, link, monitor=monitor)
+    server = THINCServer(loop, width, height)
+    ws = WindowServer(width, height, driver=server.driver,
+                      clock=loop.clock)
+    server.attach_client(conn)
+    client = THINCClient(loop, conn)
+    recorder = None
+    if trace_path is not None:
+        from .protocol.trace import TraceRecorder
+
+        recorder = TraceRecorder(trace_path, loop.clock)
+        conn.down.connect(recorder.tee(client._on_data))
+
+    wm = WindowManager(ws)
+    editor = wm.create_window("editor", Rect(
+        width // 8, height // 8, width // 2, height // 2))
+    for n in range(8):
+        loop.schedule(0.15 * n, lambda n=n: wm.draw_in_window(
+            editor, lambda s, d: s.draw_text(
+                d, 6, 6 + n * 10, f"line {n}: the quick brown fox",
+                (10, 10, 10, 255))))
+    loop.schedule(1.3, lambda: wm.move_window(editor, width // 6,
+                                              height // 6))
+    end = loop.run_until_idle(max_time=30)
+    return loop, ws, client, monitor, recorder, end
+
+
+def _cmd_demo(args) -> int:
+    loop, ws, client, monitor, recorder, end = _build_demo(
+        args.network, args.width, args.height)
+    exact = client.fb.same_as(ws.screen.fb)
+    print(f"network            : {args.network}")
+    print(f"session length     : {end:.2f} s simulated")
+    print(f"pixel-exact client : {exact}")
+    print(f"bytes on the wire  : {monitor.total_bytes():,}")
+    for kind, count in sorted(client.stats["commands_by_kind"].items()):
+        print(f"    {kind.upper():9s} x {count}")
+    return 0 if exact else 1
+
+
+def _cmd_trace(args) -> int:
+    from .protocol.trace import read_trace, summarize_trace
+
+    if args.action == "record":
+        with open(args.path, "wb") as sink:
+            _, ws, client, monitor, recorder, end = _build_demo(
+                "lan", 320, 240, trace_path=sink)
+        print(f"recorded {recorder.records_written} chunks "
+              f"({recorder.bytes_written} bytes) over {end:.2f} s "
+              f"to {args.path}")
+        return 0
+    with open(args.path, "rb") as source:
+        records = read_trace(source)
+    summary = summarize_trace(records)
+    print(f"records   : {summary['records']}")
+    print(f"bytes     : {summary['bytes']:,}")
+    print(f"duration  : {summary['duration']:.3f} s")
+    print("messages  :")
+    for name, count in sorted(summary["messages"].items()):
+        print(f"    {name:20s} x {count}")
+    return 0
+
+
+def _cmd_sites(args) -> int:
+    from .bench.reporting import format_table
+    from .bench.sites import REMOTE_SITES, site_link
+
+    rows = []
+    for site in REMOTE_SITES:
+        link = site_link(site)
+        rows.append([
+            site.code, site.location, site.distance_miles,
+            "yes" if site.planetlab else "no",
+            f"{site.rtt * 1000:.0f} ms",
+            f"{link.tcp_window // 1024} KB",
+            f"{link.throughput * 8 / 1e6:.0f} Mbps",
+        ])
+    print(format_table(
+        "Table 2 — Remote Sites for WAN Experiments",
+        ["code", "location", "miles", "PlanetLab", "RTT", "TCP window",
+         "achievable"],
+        rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the paper's figures")
+    figures.add_argument("--pages", type=int, default=8)
+    figures.add_argument("--frames", type=int, default=120)
+    figures.add_argument("--only", help="substring filter, e.g. fig5")
+    figures.set_defaults(func=_cmd_figures)
+
+    demo = sub.add_parser("demo", help="run a scripted desktop session")
+    demo.add_argument("--width", type=int, default=640)
+    demo.add_argument("--height", type=int, default=480)
+    demo.add_argument("--network", choices=("lan", "wan", "pda"),
+                      default="lan")
+    demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser("trace", help="record or inspect a trace")
+    trace.add_argument("action", choices=("record", "show"))
+    trace.add_argument("path")
+    trace.set_defaults(func=_cmd_trace)
+
+    sites = sub.add_parser("sites", help="print the Table 2 site models")
+    sites.set_defaults(func=_cmd_sites)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""THINC core: translation layer, command queues, delivery, scaling."""
+
+from .auth import (AccountDatabase, AuthError, Authenticator,
+                   SessionRegistry)
+from .client import ClientCostModel, THINCClient
+from .miniclient import MiniClient
+from .command_queue import CommandQueue
+from .delivery import ClientBuffer, FlushResult
+from .resize import DisplayScaler, resample, scale_rect
+from .scheduler import FIFOScheduler, SRSFScheduler
+from .server import ServerCostModel, THINCServer, THINCSession
+from .translation import THINCDriver
+
+__all__ = [
+    "AccountDatabase",
+    "Authenticator",
+    "AuthError",
+    "SessionRegistry",
+    "MiniClient",
+    "ServerCostModel",
+    "CommandQueue",
+    "ClientBuffer",
+    "FlushResult",
+    "SRSFScheduler",
+    "FIFOScheduler",
+    "THINCDriver",
+    "THINCServer",
+    "THINCSession",
+    "THINCClient",
+    "ClientCostModel",
+    "DisplayScaler",
+    "resample",
+    "scale_rect",
+]

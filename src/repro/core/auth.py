@@ -1,0 +1,156 @@
+"""Authentication and session sharing (paper Section 7).
+
+The THINC prototype authenticates through PAM: a user must hold a valid
+account on the server and own the session they connect to.  For
+collaborative screen sharing, the session owner may set a *session
+password* that peers present to join the shared session.
+
+This module reproduces that model with a PAM-like pluggable stack: an
+account database, an authenticator chain, session ownership checks and
+shared-session passwords.  Secrets are salted and hashed; nothing here
+is meant to protect real systems — it reproduces the paper's access
+model so the multi-client collaboration path is complete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AccountDatabase", "Authenticator", "SessionRegistry",
+           "SessionRecord", "AuthError", "AuthResult"]
+
+
+class AuthError(Exception):
+    """Raised when authentication or authorisation fails."""
+
+
+def _hash_secret(secret: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", secret.encode("utf-8"), salt,
+                               iterations=1000)
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    """The outcome of a successful authentication."""
+
+    user: str
+    session_id: str
+    role: str  # "owner" | "peer"
+
+
+class AccountDatabase:
+    """Server-side user accounts (the PAM account/auth backend)."""
+
+    def __init__(self) -> None:
+        self._users: Dict[str, tuple] = {}
+
+    def add_user(self, name: str, password: str) -> None:
+        if not name:
+            raise ValueError("user name must be non-empty")
+        salt = os.urandom(16)
+        self._users[name] = (salt, _hash_secret(password, salt))
+
+    def remove_user(self, name: str) -> None:
+        self._users.pop(name, None)
+
+    def verify(self, name: str, password: str) -> bool:
+        entry = self._users.get(name)
+        if entry is None:
+            return False
+        salt, digest = entry
+        return hmac.compare_digest(digest, _hash_secret(password, salt))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._users
+
+
+@dataclass
+class SessionRecord:
+    """One display session: an owner and optional sharing state."""
+
+    session_id: str
+    owner: str
+    shared: bool = False
+    _share_salt: Optional[bytes] = None
+    _share_digest: Optional[bytes] = None
+    connected: List[str] = field(default_factory=list)
+
+    def enable_sharing(self, password: str) -> None:
+        """The host user opens the session to peers (Section 7)."""
+        if not password:
+            raise ValueError("a session password is required for sharing")
+        self._share_salt = os.urandom(16)
+        self._share_digest = _hash_secret(password, self._share_salt)
+        self.shared = True
+
+    def disable_sharing(self) -> None:
+        self.shared = False
+        self._share_salt = None
+        self._share_digest = None
+
+    def verify_share_password(self, password: str) -> bool:
+        if not self.shared or self._share_digest is None:
+            return False
+        return hmac.compare_digest(
+            self._share_digest,
+            _hash_secret(password, self._share_salt))
+
+
+class SessionRegistry:
+    """Sessions on one server, keyed by id."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, SessionRecord] = {}
+
+    def create(self, session_id: str, owner: str) -> SessionRecord:
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already exists")
+        record = SessionRecord(session_id, owner)
+        self._sessions[session_id] = record
+        return record
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        return self._sessions.get(session_id)
+
+    def destroy(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+
+class Authenticator:
+    """The server's connection gatekeeper.
+
+    The model of Section 7: the connecting user must have a valid
+    account and be the owner of the session — unless the session is
+    shared, in which case a correct session password admits the user as
+    a collaboration peer.
+    """
+
+    def __init__(self, accounts: AccountDatabase,
+                 sessions: SessionRegistry):
+        self.accounts = accounts
+        self.sessions = sessions
+        self.attempts: List[tuple] = []
+
+    def authenticate(self, user: str, password: str, session_id: str,
+                     share_password: Optional[str] = None) -> AuthResult:
+        """Validate a connection request; raises AuthError on failure."""
+        self.attempts.append((user, session_id))
+        if not self.accounts.verify(user, password):
+            raise AuthError(f"invalid credentials for {user!r}")
+        record = self.sessions.get(session_id)
+        if record is None:
+            raise AuthError(f"no such session {session_id!r}")
+        if record.owner == user:
+            record.connected.append(user)
+            return AuthResult(user, session_id, "owner")
+        if record.shared and share_password is not None \
+                and record.verify_share_password(share_password):
+            record.connected.append(user)
+            return AuthResult(user, session_id, "peer")
+        raise AuthError(
+            f"{user!r} is not the owner of session {session_id!r} "
+            "and no valid session password was presented")

@@ -1,0 +1,219 @@
+"""The THINC client: a thin, mostly stateless display device.
+
+The client decrypts, parses and executes protocol commands against its
+local framebuffer — nothing more.  Each command maps onto an operation
+commodity display hardware accelerates (Section 3), so execution is a
+direct call into the framebuffer raster ops.
+
+Two features mirror the paper's experimental apparatus:
+
+* a **headless** mode reproducing the instrumented client deployed on
+  the PlanetLab sites (Section 8.1): all data is processed and
+  accounted for, but nothing is rendered; and
+* a simple **client processing-time model** (cost per byte parsed plus
+  cost per pixel drawn) standing in for the client-side instrumentation
+  used to include processing time in Figure 2's cross-hatched bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..display.framebuffer import Framebuffer
+from ..net.clock import EventLoop
+from ..net.transport import Connection
+from ..protocol import wire
+from ..protocol.commands import Command, VideoFrameCommand
+from ..protocol.rc4 import RC4
+
+__all__ = ["THINCClient", "ClientCostModel", "VideoStreamStats",
+           "AudioStats"]
+
+
+@dataclass(frozen=True)
+class ClientCostModel:
+    """Per-message client processing cost, in seconds.
+
+    ``per_byte`` models parse/decompress work, ``per_pixel`` models
+    drawing work.  Defaults approximate the paper's 450 MHz PII client:
+    tens of MB/s of protocol processing, hundreds of Mpix/s of blitting.
+    """
+
+    per_byte: float = 2e-8
+    per_pixel: float = 2e-9
+    fixed: float = 2e-6
+
+    def cost(self, nbytes: int, npixels: int) -> float:
+        return self.fixed + nbytes * self.per_byte + npixels * self.per_pixel
+
+
+@dataclass
+class VideoStreamStats:
+    stream_id: int
+    frames_received: int = 0
+    first_frame_time: Optional[float] = None
+    last_frame_time: Optional[float] = None
+    frame_numbers: List[int] = field(default_factory=list)
+    # (frame number, client arrival time) pairs for sync analysis.
+    arrivals: List[Tuple[int, float]] = field(default_factory=list)
+
+
+@dataclass
+class AudioStats:
+    chunks_received: int = 0
+    bytes_received: int = 0
+    # (server timestamp, client arrival time) pairs for sync analysis.
+    arrivals: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class THINCClient:
+    """Executes the THINC protocol against a local framebuffer."""
+
+    def __init__(self, loop: EventLoop, connection: Connection,
+                 viewport: Optional[Tuple[int, int]] = None,
+                 headless: bool = False,
+                 decrypt_key: Optional[bytes] = None,
+                 cost_model: Optional[ClientCostModel] = None):
+        self.loop = loop
+        self.connection = connection
+        self.headless = headless
+        self.cipher = RC4(decrypt_key) if decrypt_key else None
+        self.cost_model = cost_model or ClientCostModel()
+        self.parser = wire.StreamParser()
+        self.fb: Optional[Framebuffer] = None
+        if viewport is not None:
+            self.fb = Framebuffer(*viewport)
+        # Hardware-cursor model: position tracked locally from the
+        # user's own input (zero-latency), shape pushed by the server.
+        self.cursor_pos: Tuple[int, int] = (0, 0)
+        self.cursor_image = None  # numpy HxWx4 when a shape arrives
+        self.cursor_hotspot: Tuple[int, int] = (0, 0)
+        self.video_streams: Dict[int, wire.VideoSetupMessage] = {}
+        self.video_stats: Dict[int, VideoStreamStats] = {}
+        self.audio = AudioStats()
+        self.stats = {
+            "bytes_received": 0,
+            "messages": 0,
+            "commands_by_kind": {},
+            "last_update_time": 0.0,
+            "processing_time": 0.0,
+        }
+        connection.down.connect(self._on_data)
+
+    # -- input injection (client -> server) ---------------------------------------
+
+    def send_input(self, kind: str, x: int, y: int) -> None:
+        # The pointer moves locally before the event reaches the server.
+        self.cursor_pos = (x, y)
+        msg = wire.InputMessage(kind, x, y, self.loop.now)
+        self.connection.up.write(wire.encode_message(msg))
+
+    def request_resize(self, width: int, height: int) -> None:
+        """Report a new viewport size to the server (Section 6)."""
+        self.connection.up.write(
+            wire.encode_message(wire.ResizeMessage(width, height)))
+
+    def request_refresh(self, rect) -> None:
+        """Ask the server to resend a region (server coordinates)."""
+        self.connection.up.write(
+            wire.encode_message(wire.RefreshRequestMessage(rect)))
+
+    def request_zoom(self, rect) -> None:
+        """Zoom the viewport onto a desktop region (Section 6); an
+        empty rect zooms back out to the whole desktop."""
+        self.connection.up.write(
+            wire.encode_message(wire.ZoomRequestMessage(rect)))
+
+    # -- receive path ---------------------------------------------------------
+
+    def _on_data(self, chunk: bytes) -> None:
+        self.stats["bytes_received"] += len(chunk)
+        if self.cipher is not None:
+            chunk = self.cipher.process(chunk)
+        for msg in self.parser.feed(chunk):
+            self._handle(msg, len_hint=len(chunk))
+
+    def _handle(self, msg, len_hint: int = 0) -> None:
+        self.stats["messages"] += 1
+        now = self.loop.now
+        if isinstance(msg, wire.ScreenInitMessage):
+            if self.fb is None or (self.fb.width, self.fb.height) != (
+                    msg.width, msg.height):
+                self.fb = Framebuffer(msg.width, msg.height)
+            return
+        if isinstance(msg, wire.VideoSetupMessage):
+            self.video_streams[msg.stream_id] = msg
+            self.video_stats.setdefault(
+                msg.stream_id, VideoStreamStats(msg.stream_id))
+            return
+        if isinstance(msg, wire.VideoMoveMessage):
+            return
+        if isinstance(msg, wire.VideoTeardownMessage):
+            self.video_streams.pop(msg.stream_id, None)
+            return
+        if isinstance(msg, wire.CursorImageMessage):
+            import numpy as np
+
+            self.cursor_image = np.frombuffer(
+                msg.rgba, dtype=np.uint8).reshape(msg.height, msg.width, 4)
+            self.cursor_hotspot = (msg.hot_x, msg.hot_y)
+            return
+        if isinstance(msg, wire.AudioChunkMessage):
+            self.audio.chunks_received += 1
+            self.audio.bytes_received += len(msg.samples)
+            self.audio.arrivals.append((msg.timestamp, now))
+            return
+        if isinstance(msg, Command):
+            self._execute(msg, now)
+            return
+        raise ValueError(f"client cannot handle message {msg!r}")
+
+    def _execute(self, cmd: Command, now: float) -> None:
+        kinds = self.stats["commands_by_kind"]
+        kinds[cmd.kind] = kinds.get(cmd.kind, 0) + 1
+        npixels = cmd.dest.area
+        self.stats["processing_time"] += self.cost_model.cost(
+            cmd.wire_size(), npixels)
+        self.stats["last_update_time"] = now
+        if isinstance(cmd, VideoFrameCommand):
+            vstats = self.video_stats.setdefault(
+                cmd.stream_id, VideoStreamStats(cmd.stream_id))
+            vstats.frames_received += 1
+            vstats.frame_numbers.append(cmd.frame_no)
+            vstats.arrivals.append((cmd.frame_no, now))
+            if vstats.first_frame_time is None:
+                vstats.first_frame_time = now
+            vstats.last_frame_time = now
+        if not self.headless and self.fb is not None:
+            cmd.apply(self.fb)
+
+    # -- analysis helpers ---------------------------------------------------------
+
+    def total_commands(self) -> int:
+        return sum(self.stats["commands_by_kind"].values())
+
+    def done_time_with_processing(self) -> float:
+        """Last-update time plus modelled client processing time."""
+        return self.stats["last_update_time"] + self.stats["processing_time"]
+
+    def render_with_cursor(self):
+        """The displayed image: framebuffer with the cursor composited.
+
+        The hardware cursor is an overlay — the framebuffer itself never
+        contains it — so tests that want "what the user sees" ask here.
+        """
+        from ..display.framebuffer import Framebuffer
+
+        if self.fb is None:
+            return None
+        view = Framebuffer(self.fb.width, self.fb.height)
+        view.data[:] = self.fb.data
+        if self.cursor_image is not None:
+            from ..region import Rect
+
+            x = self.cursor_pos[0] - self.cursor_hotspot[0]
+            y = self.cursor_pos[1] - self.cursor_hotspot[1]
+            h, w = self.cursor_image.shape[:2]
+            view.composite(Rect(x, y, w, h), self.cursor_image)
+        return view

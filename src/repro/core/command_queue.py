@@ -1,0 +1,227 @@
+"""The command queue object (paper Section 4).
+
+A command queue holds the protocol commands that describe the *current*
+contents of a draw region, ordered by arrival time.  As new drawing
+overwrites the region, commands that became irrelevant are evicted —
+wholly or, for partial-class commands, clipped down to their
+still-visible remainder — so the queue never accumulates stale work.
+
+The same structure backs both THINC mechanisms built on it:
+
+* one queue per offscreen region (Section 4.1), where it preserves
+  drawing semantics until the region is copied onscreen, and
+* the per-client command buffer (Section 5), where eviction is what
+  keeps a congested connection from wasting bandwidth on outdated
+  content (and is what drops video frames under backlog).
+
+Invariant maintained at all times: replaying the queued commands in
+arrival order onto the region's previous base content reproduces the
+region's current contents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence
+
+from ..protocol.commands import Command, OverwriteClass
+from ..region import Rect, Region
+
+__all__ = ["CommandQueue"]
+
+
+class CommandQueue:
+    """An eviction-maintaining, arrival-ordered queue of commands."""
+
+    def __init__(self, merge: bool = True):
+        self.merge_enabled = merge
+        self._commands: List[Command] = []
+        self._seq = itertools.count()
+        # Union of all opaque destinations ever added: the part of the
+        # region whose contents the queue fully describes.
+        self._opaque_cover = Region()
+        # Areas where a transparent command blended over content the
+        # queue does not describe; replay there is not faithful.
+        self._tainted = Region()
+        # Statistics for the ablation benches.
+        self.stats = {"added": 0, "evicted": 0, "clipped": 0, "merged": 0}
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def commands(self) -> Sequence[Command]:
+        return tuple(self._commands)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self._commands)
+
+    def __bool__(self) -> bool:
+        return bool(self._commands)
+
+    @property
+    def opaque_cover(self) -> Region:
+        """Region whose contents the queued commands fully describe."""
+        return self._opaque_cover.copy()
+
+    @property
+    def tainted(self) -> Region:
+        """Region where replay would not be faithful (see module doc)."""
+        return self._tainted.copy()
+
+    def total_wire_size(self) -> int:
+        return sum(c.wire_size() for c in self._commands)
+
+    # -- core operations ----------------------------------------------------
+
+    def add(self, command: Command) -> Command:
+        """Append a command, evicting or clipping what it overwrites.
+
+        Returns the command instance actually stored, which differs from
+        the argument when the command merged into its predecessor.
+        """
+        command.seq = next(self._seq)
+        self.stats["added"] += 1
+        opaque = command.opaque_region
+        if not opaque.is_empty:
+            self._evict_under(opaque, command)
+            self._opaque_cover = self._opaque_cover.union(opaque)
+        elif not self._opaque_cover.contains_rect(command.dest):
+            # A transparent command blending over content this queue does
+            # not describe: mark the area as non-replayable.
+            self._tainted.add(command.dest)
+        stored = self._try_merge_tail(command) if self.merge_enabled else None
+        if stored is None:
+            self._commands.append(command)
+            stored = command
+        return stored
+
+    def _evict_under(self, opaque: Region, newcomer: Command) -> None:
+        """Drop or clip queued commands the new opaque region overwrites.
+
+        Regions that a still-buffered COPY command reads from are
+        *pinned*: the commands producing those pixels must survive (and
+        be replayed) even though newer content covers them, because the
+        COPY executes first and needs them on the client framebuffer.
+        The newcomer's own source counts too — an overlapping scroll
+        must not evict the producers of the pixels it is about to read.
+        """
+        pinned = Region()
+        own_src = getattr(newcomer, "src_rect", None)
+        if own_src is not None:
+            pinned.add(own_src)
+        for cmd in self._commands:
+            src = getattr(cmd, "src_rect", None)
+            if src is not None:
+                pinned.add(src)
+        if pinned:
+            opaque = opaque.subtract(pinned)
+            if opaque.is_empty:
+                return
+        kept: List[Command] = []
+        for cmd in self._commands:
+            if not opaque.overlaps_rect(cmd.dest):
+                kept.append(cmd)
+                continue
+            if cmd.overwrite_class is OverwriteClass.PARTIAL:
+                visible = Region.from_rect(cmd.dest).subtract(opaque)
+                if visible.is_empty:
+                    self.stats["evicted"] += 1
+                    continue
+                if visible.area == cmd.dest.area:
+                    kept.append(cmd)
+                    continue
+                fragments = cmd.clipped(list(visible))
+                for frag in fragments:
+                    frag.seq = cmd.seq
+                    frag.realtime = cmd.realtime
+                    frag.sched_floor = cmd.sched_floor
+                kept.extend(fragments)
+                self.stats["clipped"] += 1
+            else:
+                # COMPLETE and TRANSPARENT commands are evicted only when
+                # fully covered by the new opaque content.
+                if opaque.contains_rect(cmd.dest):
+                    self.stats["evicted"] += 1
+                else:
+                    kept.append(cmd)
+        self._commands = kept
+
+    def _try_merge_tail(self, command: Command) -> Optional[Command]:
+        """Merge *command* into the queue's last command when adjacent."""
+        if not self._commands:
+            return None
+        tail = self._commands[-1]
+        merged = tail.try_merge(command)
+        if merged is None:
+            return None
+        merged.seq = tail.seq
+        merged.realtime = tail.realtime or command.realtime
+        merged.sched_floor = max(tail.sched_floor, command.sched_floor)
+        self._commands[-1] = merged
+        self.stats["merged"] += 1
+        return merged
+
+    def drain(self) -> List[Command]:
+        """Remove and return all commands in arrival order."""
+        out = self._commands
+        self._commands = []
+        return out
+
+    def remove(self, command: Command) -> None:
+        """Remove a specific command instance (used after delivery)."""
+        self._commands.remove(command)
+
+    def replace(self, command: Command, replacement: Command) -> None:
+        """Swap a command for its unsent remainder in place."""
+        idx = self._commands.index(command)
+        self._commands[idx] = replacement
+
+    def clear(self) -> None:
+        self._commands = []
+        self._opaque_cover = Region()
+        self._tainted = Region()
+
+    # -- offscreen support (Section 4.1) -----------------------------------
+
+    def commands_for_copy(self, src_rect: Rect, dx: int, dy: int
+                          ) -> List[Command]:
+        """Commands reproducing *src_rect*'s content at a new location.
+
+        Implements the paper's queue-to-queue copy: the commands that
+        draw on the source region are *copied* (the source queue is left
+        intact, since a region can source many copies), clipped to the
+        copied rectangle, and translated to their new location.
+
+        Only the replayable part of the source is returned — commands
+        are clipped to ``src_rect`` minus :meth:`uncovered_region`, so
+        callers cover the remainder with RAW pixel data read from the
+        source drawable and the two never overlap.
+        """
+        replay = Region.from_rect(src_rect).subtract(
+            self.uncovered_region(src_rect))
+        if replay.is_empty:
+            return []
+        replay_rects = list(replay)
+        out: List[Command] = []
+        for cmd in self._commands:
+            if not cmd.dest.overlaps(src_rect):
+                continue
+            for part in cmd.clipped(replay_rects):
+                out.append(part.translated(dx, dy))
+        return out
+
+    def uncovered_region(self, src_rect: Rect) -> Region:
+        """The part of *src_rect* that replay cannot faithfully rebuild.
+
+        This is where the translation layer falls back to RAW: pixels
+        never described by queued opaque commands, plus areas tainted by
+        transparent commands blending over undescribed content.
+        """
+        missing = Region.from_rect(src_rect).subtract(self._opaque_cover)
+        return missing.union(self._tainted.intersect_rect(src_rect))
+
+    def __repr__(self) -> str:
+        return f"CommandQueue({len(self._commands)} commands)"

@@ -1,0 +1,341 @@
+"""The THINC server: sessions, framing, encryption, push delivery.
+
+The server owns one :class:`~repro.core.translation.THINCDriver` (which
+plugs into the window server as its video driver) and any number of
+client sessions.  Each session has its own command buffer, SRSF
+scheduler, optional server-side display scaler (Section 6) and optional
+RC4 stream cipher (Section 7).  Updates are *pushed*: whenever work is
+buffered the session schedules flush periods on the event loop and
+commits as much as the non-blocking transport will take.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..display.driver import InputEvent, VideoStreamInfo
+from ..net.clock import EventLoop
+from ..net.transport import Connection
+from ..protocol import wire
+from ..protocol.commands import Command
+from ..protocol.rc4 import RC4
+from ..region import Rect
+from .delivery import ClientBuffer
+from .resize import DisplayScaler
+from .scheduler import SRSFScheduler
+from .translation import THINCDriver
+
+__all__ = ["THINCServer", "THINCSession", "ServerCostModel"]
+
+FLUSH_INTERVAL = 0.002  # seconds between flush periods while backlogged
+
+
+class ServerCostModel:
+    """Server CPU accounting for command preparation.
+
+    Translation itself is almost free — that is the point of the design
+    — but RAW payload compression is not (Section 8.3 observes THINC
+    losing to cheap-codec systems on single-large-image pages exactly
+    because of PNG compression time).  Rates are calibrated to the
+    paper's dual-933 MHz PIII server.  Video frames are only copied,
+    never re-encoded: the architectural win behind Figure 5.
+    """
+
+    png_bytes_per_second = 16e6  # PNG-model filter + DEFLATE
+    copy_bytes_per_second = 400e6  # packetising video/audio payloads
+    per_command = 2e-6  # translation bookkeeping
+
+    def cost(self, command) -> float:
+        from ..protocol.commands import (CompositeCommand, RawCommand,
+                                         VideoFrameCommand)
+
+        cpu = self.per_command
+        if isinstance(command, RawCommand) and command.compress:
+            cpu += command.pixels.nbytes / self.png_bytes_per_second
+        elif isinstance(command, CompositeCommand):
+            cpu += command.pixels.nbytes / self.png_bytes_per_second
+        elif isinstance(command, VideoFrameCommand):
+            cpu += len(command.yuv_bytes) / self.copy_bytes_per_second
+        return cpu
+
+
+class THINCSession:
+    """Per-client server state."""
+
+    def __init__(self, server: "THINCServer", connection: Connection,
+                 viewport=None, encrypt_key: Optional[bytes] = None):
+        self.server = server
+        self.connection = connection
+        self.loop = server.loop
+        self.viewport = viewport or (server.width, server.height)
+        self.scaler = DisplayScaler((server.width, server.height),
+                                    self.viewport)
+        self.cipher = RC4(encrypt_key) if encrypt_key else None
+        self.buffer = ClientBuffer(
+            scheduler=server.scheduler_factory(),
+            merge=server.merge,
+            frame=self._frame,
+        )
+        self._control: List[bytes] = []
+        self._audio: List[bytes] = []
+        self._flush_scheduled = False
+        self._cpu_free_at = 0.0
+        self.stats = {"messages_sent": 0, "bytes_sent": 0,
+                      "flush_periods": 0, "cpu_time": 0.0}
+        connection.up.connect(self._on_client_data)
+        self._parser = wire.StreamParser()
+        self.queue_control(wire.ScreenInitMessage(*self.viewport))
+
+    # -- framing ------------------------------------------------------------
+
+    def _frame(self, msg) -> bytes:
+        data = wire.encode_message(msg)
+        if self.cipher is not None:
+            data = self.cipher.process(data)
+        return data
+
+    # -- enqueue paths ---------------------------------------------------------
+
+    def submit(self, command: Command) -> None:
+        """Buffer a display command, scaled to this client's viewport.
+
+        Commands pass through a serial CPU pipeline: compressing a RAW
+        payload takes real server time, and a command only becomes
+        sendable once prepared.  The pipeline is FIFO, so command order
+        is preserved.
+        """
+        for scaled in self.scaler.scale_command(command):
+            cpu = self.server.cost_model.cost(scaled)
+            start = max(self.loop.now, self._cpu_free_at)
+            self._cpu_free_at = start + cpu
+            self.stats["cpu_time"] += cpu
+            delay = self._cpu_free_at - self.loop.now
+            if delay <= 0:
+                self.buffer.add(scaled, now=self.loop.now)
+            else:
+                self.loop.schedule(
+                    delay,
+                    lambda c=scaled: (self.buffer.add(c, now=self.loop.now),
+                                      self._kick()))
+        self._kick()
+
+    def queue_control(self, message) -> None:
+        self._control.append(self._frame(message))
+        self._kick()
+
+    def queue_audio(self, timestamp: float, samples: bytes) -> None:
+        self._audio.append(
+            self._frame(wire.AudioChunkMessage(timestamp, samples)))
+        self._kick()
+
+    def note_input(self, event: InputEvent) -> None:
+        # Input arrives in session coordinates; the real-time region is
+        # matched against commands already mapped into this client's
+        # (possibly zoomed, scaled) viewport space.
+        x, y = self.scaler.map_point(event.x, event.y)
+        self.buffer.note_input(x, y, event.time)
+
+    # -- flush machinery ----------------------------------------------------------
+
+    def _kick(self) -> None:
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.loop.schedule(0.0, self._flush)
+
+    def pending(self) -> bool:
+        return bool(self._control or self._audio
+                    or self.buffer.pending_commands())
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        self.stats["flush_periods"] += 1
+        writer = self.connection.down
+        # Control messages first (tiny, order-sensitive), then audio
+        # (latency-sensitive), then display commands in SRSF order.
+        for fifo in (self._control, self._audio):
+            while fifo and len(fifo[0]) <= writer.writable_bytes():
+                data = fifo.pop(0)
+                writer.write(data)
+                self.stats["messages_sent"] += 1
+                self.stats["bytes_sent"] += len(data)
+        if not self._control:
+            result = self.buffer.flush(writer)
+            self.stats["messages_sent"] += result.commands_sent
+            self.stats["bytes_sent"] += result.bytes_written
+        if self.pending():
+            self._flush_scheduled = True
+            self.loop.schedule(FLUSH_INTERVAL, self._flush)
+
+    # -- client-to-server traffic ---------------------------------------------
+
+    def _on_client_data(self, chunk: bytes) -> None:
+        # Client->server traffic is not encrypted in this model (input
+        # events only; the paper encrypts both ways but RC4 is
+        # size-preserving so accounting is identical).
+        for msg in self._parser.feed(chunk):
+            self.server.handle_client_message(self, msg)
+
+
+class THINCServer:
+    """The THINC server core, acting as the translation layer's sink."""
+
+    def __init__(self, loop: EventLoop, width: int, height: int,
+                 compress_raw: bool = True,
+                 offscreen_awareness: bool = True,
+                 merge: bool = True,
+                 scheduler_factory: Callable[[], object] = SRSFScheduler,
+                 encrypt_key: Optional[bytes] = None,
+                 cost_model: Optional[ServerCostModel] = None):
+        self.loop = loop
+        self.cost_model = cost_model or ServerCostModel()
+        self.width = width
+        self.height = height
+        self.merge = merge
+        self.scheduler_factory = scheduler_factory
+        self.encrypt_key = encrypt_key
+        self.driver = THINCDriver(self, compress_raw=compress_raw,
+                                  offscreen_awareness=offscreen_awareness)
+        self.sessions: List[THINCSession] = []
+        # Callback invoked with (session, InputMessage) for every input
+        # event a client sends; the testbed wires this to the window
+        # server and the workload's think-time logic.
+        self.input_handler: Optional[Callable] = None
+
+    # -- session management -----------------------------------------------------
+
+    def attach_client(self, connection: Connection,
+                      viewport=None) -> THINCSession:
+        """Attach a client; a mid-session join receives the current
+        screen contents (the mobility story: connect from any client,
+        resume the same persistent session)."""
+        session = THINCSession(self, connection, viewport,
+                               encrypt_key=self.encrypt_key)
+        self.sessions.append(session)
+        screen = self.driver.screen_drawable
+        if screen is not None:
+            from ..protocol.commands import RawCommand
+
+            session.submit(RawCommand(
+                screen.bounds, screen.fb.read_pixels(screen.bounds),
+                compress=self.driver.compress_raw))
+        # Active video streams need no replay: frames are self-contained
+        # and the next one repaints the stream's destination.
+        return session
+
+    def detach_client(self, session: THINCSession) -> None:
+        self.sessions.remove(session)
+
+    # -- UpdateSink interface (called by THINCDriver) ------------------------------
+
+    def submit(self, command: Command) -> None:
+        for session in self.sessions:
+            session.submit(command)
+
+    def video_setup(self, stream: VideoStreamInfo) -> None:
+        for session in self.sessions:
+            dst = stream.dst_rect
+            if not session.scaler.identity:
+                from .resize import scale_rect
+
+                dst = scale_rect(dst, session.scaler.sx, session.scaler.sy)
+            session.queue_control(wire.VideoSetupMessage(
+                stream.stream_id, stream.pixel_format,
+                stream.src_width, stream.src_height, dst))
+
+    def video_move(self, stream: VideoStreamInfo) -> None:
+        for session in self.sessions:
+            dst = stream.dst_rect
+            if not session.scaler.identity:
+                from .resize import scale_rect
+
+                dst = scale_rect(dst, session.scaler.sx, session.scaler.sy)
+            session.queue_control(
+                wire.VideoMoveMessage(stream.stream_id, dst))
+
+    def video_teardown(self, stream: VideoStreamInfo) -> None:
+        for session in self.sessions:
+            session.queue_control(
+                wire.VideoTeardownMessage(stream.stream_id))
+
+    def cursor_set(self, pixels, hotspot) -> None:
+        for session in self.sessions:
+            img, (hx, hy) = pixels, hotspot
+            if not session.scaler.identity:
+                from .resize import resample
+
+                sx, sy = session.scaler.sx, session.scaler.sy
+                w = max(1, int(round(img.shape[1] * sx)))
+                h = max(1, int(round(img.shape[0] * sy)))
+                img = resample(img, w, h)
+                hx = min(int(hx * sx), w - 1)
+                hy = min(int(hy * sy), h - 1)
+            session.queue_control(wire.CursorImageMessage(
+                hx, hy, img.shape[1], img.shape[0], img.tobytes()))
+
+    def note_input(self, event: InputEvent) -> None:
+        for session in self.sessions:
+            session.note_input(event)
+
+    # -- audio (Section 4.2's virtual audio driver feeds this) ---------------------
+
+    def submit_audio(self, timestamp: float, samples: bytes) -> None:
+        for session in self.sessions:
+            session.queue_audio(timestamp, samples)
+
+    # -- upstream traffic ------------------------------------------------------------
+
+    def handle_client_message(self, session: THINCSession, msg) -> None:
+        if isinstance(msg, wire.ZoomRequestMessage):
+            view = msg.rect.intersect(
+                Rect(0, 0, self.width, self.height))
+            if view.empty:
+                view = None  # zoom out to the full desktop
+            session.scaler = DisplayScaler((self.width, self.height),
+                                           session.viewport,
+                                           view_rect=view)
+            # Push the content of the new view at its new resolution
+            # ("the client ... requests updated content from the
+            # server" when the display size increases).
+            screen = self.driver.screen_drawable
+            if screen is not None:
+                from ..protocol.commands import RawCommand
+
+                source = view or screen.bounds
+                session.submit(RawCommand(
+                    source, screen.fb.read_pixels(source),
+                    compress=self.driver.compress_raw))
+            return
+        if isinstance(msg, wire.RefreshRequestMessage):
+            screen = self.driver.screen_drawable
+            if screen is not None:
+                rect = msg.rect.intersect(screen.bounds)
+                if rect:
+                    from ..protocol.commands import RawCommand
+
+                    session.submit(RawCommand(
+                        rect, screen.fb.read_pixels(rect),
+                        compress=self.driver.compress_raw))
+            return
+        if isinstance(msg, wire.ResizeMessage):
+            session.viewport = (msg.width, msg.height)
+            session.scaler = DisplayScaler((self.width, self.height),
+                                           session.viewport)
+            # The client's framebuffer geometry changes, and it only has
+            # a resampled version of the display — push the new geometry
+            # and a full-screen refresh (Section 6: "the client requests
+            # updated content from the server").
+            session.queue_control(wire.ScreenInitMessage(*session.viewport))
+            screen = self.driver.screen_drawable
+            if screen is not None:
+                from ..protocol.commands import RawCommand
+
+                session.submit(RawCommand(
+                    screen.bounds, screen.fb.read_pixels(screen.bounds),
+                    compress=self.driver.compress_raw))
+        elif self.input_handler is not None:
+            self.input_handler(session, msg)
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def pending(self) -> bool:
+        return any(s.pending() for s in self.sessions)

@@ -1,0 +1,51 @@
+"""Drawables: the onscreen framebuffer and offscreen pixmaps.
+
+In X, rendering targets are *drawables* — either the screen itself or an
+offscreen pixmap living in (video) memory.  Modern toolkits prepare
+window content in pixmaps and copy the finished result onscreen; THINC's
+offscreen-awareness optimisation (Section 4.1) exists precisely because
+that copy is where naive thin clients lose all drawing semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..region import Rect
+from .framebuffer import Framebuffer
+
+__all__ = ["Drawable"]
+
+_ids = itertools.count(1)
+
+
+class Drawable:
+    """A render target: ``onscreen`` is True only for the screen itself."""
+
+    def __init__(self, width: int, height: int, onscreen: bool,
+                 label: Optional[str] = None):
+        self.id = next(_ids)
+        self.onscreen = onscreen
+        self.fb = Framebuffer(width, height)
+        self.label = label or ("screen" if onscreen else f"pixmap-{self.id}")
+        self.alive = True
+
+    @property
+    def width(self) -> int:
+        return self.fb.width
+
+    @property
+    def height(self) -> int:
+        return self.fb.height
+
+    @property
+    def bounds(self) -> Rect:
+        return self.fb.bounds
+
+    def destroy(self) -> None:
+        self.alive = False
+
+    def __repr__(self) -> str:
+        kind = "screen" if self.onscreen else "pixmap"
+        return f"Drawable<{kind} #{self.id} {self.width}x{self.height}>"

@@ -1,0 +1,22 @@
+"""Discrete-event network simulation: clock, links, transport, monitor."""
+
+from .clock import EventLoop, SimClock
+from .link import (LAN_DESKTOP, MSS, NETWORK_CONFIGS, PDA_80211G,
+                   WAN_DESKTOP, LinkParams)
+from .monitor import PacketMonitor, PacketRecord
+from .transport import Connection, Endpoint
+
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "LinkParams",
+    "LAN_DESKTOP",
+    "WAN_DESKTOP",
+    "PDA_80211G",
+    "NETWORK_CONFIGS",
+    "MSS",
+    "Connection",
+    "Endpoint",
+    "PacketMonitor",
+    "PacketRecord",
+]

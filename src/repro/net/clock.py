@@ -1,0 +1,88 @@
+"""Simulation clock and discrete-event loop.
+
+The whole testbed — applications, window server, thin-client protocol
+stacks and the network — runs against one simulated clock.  Events are
+(time, callback) pairs in a heap; ties break by scheduling order so
+runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["SimClock", "EventLoop"]
+
+
+class SimClock:
+    """Monotonically advancing simulated time, in seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to *t*; time never goes backwards."""
+        if t < self.now:
+            raise ValueError(f"time cannot move backwards ({t} < {self.now})")
+        self.now = t
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._heap,
+                       (self.clock.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated *time*."""
+        if time < self.clock.now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._heap)
+
+    def run_until(self, t: float, max_events: int = 10_000_000) -> None:
+        """Run all events with timestamp <= t, then set the clock to t."""
+        count = 0
+        while self._heap and self._heap[0][0] <= t:
+            when, _, callback = heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback()
+            count += 1
+            self.events_run += 1
+            if count > max_events:
+                raise RuntimeError(
+                    "event budget exhausted; likely a scheduling loop")
+        self.clock.advance_to(t)
+
+    def run_until_idle(self, max_time: float = float("inf"),
+                       max_events: int = 10_000_000) -> float:
+        """Run until no events remain (or *max_time*); returns end time."""
+        count = 0
+        while self._heap and self._heap[0][0] <= max_time:
+            when, _, callback = heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback()
+            count += 1
+            self.events_run += 1
+            if count > max_events:
+                raise RuntimeError(
+                    "event budget exhausted; likely a scheduling loop")
+        return self.clock.now

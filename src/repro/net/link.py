@@ -1,0 +1,93 @@
+"""Network link parameters and the testbed's named configurations.
+
+The paper evaluates three emulated environments (Section 8.1) plus the
+real remote sites of Table 2.  A link is characterised by bandwidth,
+round-trip time and the TCP window in force; the achievable throughput
+of a window-limited TCP flow is ``min(bandwidth, window / RTT)`` — the
+arithmetic behind both the WAN results and the Korea anomaly of
+Figures 4 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LinkParams", "LAN_DESKTOP", "WAN_DESKTOP", "PDA_80211G",
+           "NETWORK_CONFIGS"]
+
+MSS = 1460  # TCP maximum segment size used for packetisation
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """A bidirectional network path between thin client and server."""
+
+    name: str
+    bandwidth_bps: float  # bottleneck bandwidth, bits per second
+    rtt: float  # round-trip propagation time, seconds
+    tcp_window: int = 1 << 20  # bytes (paper uses 1 MB where allowed)
+    extra_hop_rtt: float = 0.0  # relay services (GoToMyPC) add a hop
+    # Segment loss probability (wireless links); lost segments are
+    # retransmitted one RTT later. The paper's 802.11g configuration
+    # deliberately sets this to zero; the wireless ablation does not.
+    loss_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt < 0 or self.extra_hop_rtt < 0:
+            raise ValueError("RTTs must be non-negative")
+        if self.tcp_window <= 0:
+            raise ValueError("TCP window must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Link bandwidth expressed in bytes per second."""
+        return self.bandwidth_bps / 8.0
+
+    @property
+    def effective_rtt(self) -> float:
+        """Round-trip time including any relay hop."""
+        return self.rtt + self.extra_hop_rtt
+
+    @property
+    def effective_window(self) -> int:
+        """The congestion-aware window: configured window capped by the
+        Mathis steady-state TCP window ``MSS * sqrt(1.5 / p)`` under
+        loss — how loss actually throttles a TCP flow."""
+        if self.loss_rate <= 0:
+            return self.tcp_window
+        import math
+
+        mathis = int(MSS * math.sqrt(1.5 / self.loss_rate))
+        return max(MSS, min(self.tcp_window, mathis))
+
+    @property
+    def throughput(self) -> float:
+        """Achievable bytes/s for one window-limited TCP flow."""
+        rtt = max(self.effective_rtt, 1e-4)
+        return min(self.bytes_per_second, self.effective_window / rtt)
+
+    def with_relay(self, extra_rtt: float) -> "LinkParams":
+        """The same path routed through an intermediate hosted server."""
+        return replace(self, extra_hop_rtt=extra_rtt,
+                       name=f"{self.name}+relay")
+
+    def with_loss(self, loss_rate: float) -> "LinkParams":
+        """The same path with wireless-style segment loss."""
+        return replace(self, loss_rate=loss_rate,
+                       name=f"{self.name}+loss{loss_rate:g}")
+
+
+# The three testbed configurations of Section 8.1.
+LAN_DESKTOP = LinkParams("LAN Desktop", bandwidth_bps=100e6, rtt=0.0002)
+WAN_DESKTOP = LinkParams("WAN Desktop", bandwidth_bps=100e6, rtt=0.066)
+PDA_80211G = LinkParams("802.11g PDA", bandwidth_bps=24e6, rtt=0.0002)
+
+NETWORK_CONFIGS = {
+    "lan": LAN_DESKTOP,
+    "wan": WAN_DESKTOP,
+    "pda": PDA_80211G,
+}

@@ -1,0 +1,82 @@
+"""Packet monitor for slow-motion benchmarking.
+
+The paper measures the closed commercial systems non-invasively, by
+capturing network traffic and reading latencies and data volumes out of
+the trace (Section 8.2, citing the slow-motion benchmarking
+methodology).  This monitor plays the Ethereal role: every delivered
+segment is recorded with its timestamp and direction, and the analysis
+helpers extract the same measures the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["PacketRecord", "PacketMonitor"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    time: float
+    direction: str  # "server->client" or "client->server"
+    size: int
+
+
+class PacketMonitor:
+    """Records every segment crossing the emulated network."""
+
+    def __init__(self) -> None:
+        self.records: List[PacketRecord] = []
+        self.marks: List[Tuple[float, str]] = []
+
+    def record(self, time: float, direction: str, size: int) -> None:
+        """Log one delivered segment (called by the transport)."""
+        self.records.append(PacketRecord(time, direction, size))
+
+    def mark(self, time: float, label: str) -> None:
+        """Drop an analysis marker (e.g. page-load click) into the trace."""
+        self.marks.append((time, label))
+
+    def clear(self) -> None:
+        """Drop all records and marks (between benchmark phases)."""
+        self.records = []
+        self.marks = []
+
+    # -- analysis -----------------------------------------------------------
+
+    def total_bytes(self, direction: Optional[str] = None,
+                    start: float = float("-inf"),
+                    end: float = float("inf")) -> int:
+        return sum(r.size for r in self.records
+                   if (direction is None or r.direction == direction)
+                   and start <= r.time <= end)
+
+    def first_packet_time(self, direction: Optional[str] = None,
+                          after: float = float("-inf")) -> Optional[float]:
+        for r in self.records:
+            if (direction is None or r.direction == direction) \
+                    and r.time >= after:
+                return r.time
+        return None
+
+    def last_packet_time(self, direction: Optional[str] = None,
+                         before: float = float("inf")) -> Optional[float]:
+        result = None
+        for r in self.records:
+            if (direction is None or r.direction == direction) \
+                    and r.time <= before:
+                result = r.time
+        return result
+
+    def span_latency(self, start: float, end: float = float("inf"),
+                     direction: str = "server->client") -> Optional[float]:
+        """Slow-motion page latency: from an input mark to the last
+        data packet of the response burst."""
+        last = self.last_packet_time(direction, before=end)
+        if last is None or last < start:
+            return None
+        return last - start
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,158 @@
+"""A fluid-model TCP-like transport over the simulated network.
+
+Each :class:`Connection` provides two half-duplex byte pipes between a
+server endpoint and a client endpoint.  The model captures exactly the
+effects the paper's evaluation turns on:
+
+* **propagation latency** — every byte arrives one-way-delay after it
+  is transmitted;
+* **bandwidth** — the sender serialises at the link rate;
+* **TCP windowing** — no more than ``tcp_window`` bytes may be in
+  flight (unacknowledged); the effective throughput of the pipe is
+  therefore ``min(bandwidth, window / RTT)``, which is what strangles
+  the Korea site in Figures 4 and 7; and
+* **back-pressure** — a bounded send buffer makes writes non-blocking
+  at the API (``writable_bytes`` says how much more fits), which is the
+  condition THINC's flush handlers probe.
+
+Data is packetised in MSS-sized segments so the packet monitor sees a
+realistic trace for slow-motion benchmarking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .clock import EventLoop
+from .link import MSS, LinkParams
+
+__all__ = ["Endpoint", "Connection"]
+
+Receiver = Callable[[bytes], None]
+
+
+class Endpoint:
+    """One direction of a connection, seen from the sender's side."""
+
+    def __init__(self, loop: EventLoop, link: LinkParams, label: str,
+                 monitor=None, send_buffer: Optional[int] = None):
+        self.loop = loop
+        self.link = link
+        self.label = label
+        self.monitor = monitor
+        # Bounded send buffer: this is what produces back-pressure.
+        # Defaults to a realistic socket buffer, capped by the window.
+        self.send_buffer_limit = send_buffer or min(link.tcp_window,
+                                                    256 * 1024)
+        self._buffer = bytearray()
+        self._inflight = 0  # bytes sent but not yet acknowledged
+        self._wire_free_at = 0.0  # when the serialiser is next idle
+        self._deliver_free_at = 0.0  # in-order delivery horizon
+        self._pump_scheduled = False
+        self._receiver: Optional[Receiver] = None
+        self.bytes_sent = 0
+        self.segments_sent = 0
+        self.segments_lost = 0
+        # Deterministic loss process per endpoint/direction.
+        self._loss_rng = random.Random(hash((label, link.name)) & 0xFFFF)
+
+    # -- wiring -----------------------------------------------------------
+
+    def connect(self, receiver: Receiver) -> None:
+        """Register the function that receives delivered segments."""
+        self._receiver = receiver
+
+    # -- sender API (non-blocking socket model) ------------------------------
+
+    def writable_bytes(self) -> int:
+        """How many bytes a write may currently enqueue without blocking."""
+        return max(0, self.send_buffer_limit - len(self._buffer))
+
+    def write(self, data: bytes) -> None:
+        """Enqueue bytes; raises if the caller ignored writable_bytes()."""
+        if len(data) > self.writable_bytes():
+            raise BlockingIOError(
+                f"{self.label}: write of {len(data)} bytes exceeds buffer "
+                f"room {self.writable_bytes()}"
+            )
+        self._buffer.extend(data)
+        self._schedule_pump()
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes buffered or in flight (0 means fully delivered)."""
+        return len(self._buffer) + self._inflight
+
+    # -- internal fluid machinery ---------------------------------------------
+
+    def _schedule_pump(self) -> None:
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            delay = max(0.0, self._wire_free_at - self.loop.now)
+            self.loop.schedule(delay, self._pump)
+
+    def _pump(self) -> None:
+        """Move segments from the buffer onto the wire, window allowing."""
+        self._pump_scheduled = False
+        window = self.link.effective_window
+        while self._buffer and self._inflight + MSS <= window:
+            segment = bytes(self._buffer[:MSS])
+            del self._buffer[: len(segment)]
+            self._inflight += len(segment)
+            tx_time = len(segment) / self.link.bytes_per_second
+            start = max(self.loop.now, self._wire_free_at)
+            self._wire_free_at = start + tx_time
+            arrive = self._wire_free_at + self.link.effective_rtt / 2
+            if self.link.loss_rate > 0 and \
+                    self._loss_rng.random() < self.link.loss_rate:
+                # Lost in flight: detected and retransmitted roughly one
+                # RTT later (fast-retransmit model); the window stays
+                # occupied meanwhile, throttling the flow like real TCP.
+                self.segments_lost += 1
+                arrive += self.link.effective_rtt
+            # TCP delivers in order: a retransmission head-of-line
+            # blocks every later segment.
+            arrive = max(arrive, self._deliver_free_at)
+            self._deliver_free_at = arrive
+            self.loop.schedule_at(arrive,
+                                  lambda s=segment: self._deliver(s))
+            self.bytes_sent += len(segment)
+            self.segments_sent += 1
+        # If window-blocked, the ack path will reschedule us.
+
+    def _deliver(self, segment: bytes) -> None:
+        if self.monitor is not None:
+            self.monitor.record(self.loop.now, self.label, len(segment))
+        if self._receiver is not None:
+            self._receiver(segment)
+        # The ack returns half an RTT later, freeing window space.
+        self.loop.schedule(self.link.effective_rtt / 2,
+                           lambda n=len(segment): self._acked(n))
+
+    def _acked(self, n: int) -> None:
+        self._inflight -= n
+        if self._buffer:
+            self._schedule_pump()
+
+
+class Connection:
+    """A bidirectional client/server connection over one link."""
+
+    def __init__(self, loop: EventLoop, link: LinkParams, monitor=None,
+                 send_buffer: Optional[int] = None):
+        self.loop = loop
+        self.link = link
+        self.down = Endpoint(loop, link, "server->client", monitor,
+                             send_buffer)
+        self.up = Endpoint(loop, link, "client->server", monitor,
+                           send_buffer)
+
+    def connect(self, client_receiver: Receiver,
+                server_receiver: Receiver) -> None:
+        self.down.connect(client_receiver)
+        self.up.connect(server_receiver)
+
+    def idle(self) -> bool:
+        """True when both directions have nothing queued or in flight."""
+        return self.down.queued_bytes == 0 and self.up.queued_bytes == 0

@@ -1,0 +1,33 @@
+"""The THINC remote display protocol: commands, wire format, crypto."""
+
+from .commands import (BitmapCommand, Command, CompositeCommand, CopyCommand,
+                       OverwriteClass, PFillCommand, RawCommand,
+                       SFillCommand, VideoFrameCommand, decode_command)
+from .rc4 import RC4
+from .wire import (AudioChunkMessage, InputMessage, Message, ResizeMessage,
+                   ScreenInitMessage, VideoMoveMessage, VideoSetupMessage,
+                   VideoTeardownMessage, encode_message, parse_messages)
+
+__all__ = [
+    "Command",
+    "OverwriteClass",
+    "RawCommand",
+    "CopyCommand",
+    "SFillCommand",
+    "PFillCommand",
+    "BitmapCommand",
+    "CompositeCommand",
+    "VideoFrameCommand",
+    "decode_command",
+    "RC4",
+    "encode_message",
+    "parse_messages",
+    "Message",
+    "VideoSetupMessage",
+    "VideoMoveMessage",
+    "VideoTeardownMessage",
+    "AudioChunkMessage",
+    "InputMessage",
+    "ResizeMessage",
+    "ScreenInitMessage",
+]

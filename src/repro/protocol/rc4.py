@@ -1,0 +1,62 @@
+"""RC4 stream cipher.
+
+The THINC prototype encrypts all protocol traffic with RC4 (Section 7),
+chosen because a stream cipher adds no padding and negligible per-byte
+cost for the bursty, size-sensitive traffic of a thin-client session.
+This is a faithful reimplementation used for protocol-fidelity testing
+and for accounting the (null) size overhead of encryption in the
+benchmarks.  RC4 is long obsolete as a security primitive; it is
+implemented here solely to reproduce the paper's system, not for
+protecting real data.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RC4", "rc4_keystream"]
+
+
+class RC4:
+    """Streaming RC4 with the standard KSA/PRGA.
+
+    Instances are stateful: successive :meth:`process` calls continue the
+    keystream, so a connection encrypts with a single instance per
+    direction.  Encryption and decryption are the same operation.
+    """
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("RC4 key must be non-empty")
+        if len(key) > 256:
+            raise ValueError("RC4 key must be at most 256 bytes")
+        # Key-scheduling algorithm.
+        s = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + s[i] + key[i % len(key)]) % 256
+            s[i], s[j] = s[j], s[i]
+        self._s = s
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, length: int) -> bytes:
+        """Generate *length* keystream bytes (PRGA)."""
+        s = self._s
+        i, j = self._i, self._j
+        out = bytearray(length)
+        for n in range(length):
+            i = (i + 1) % 256
+            j = (j + s[i]) % 256
+            s[i], s[j] = s[j], s[i]
+            out[n] = s[(s[i] + s[j]) % 256]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """XOR *data* with the next keystream bytes."""
+        ks = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+
+def rc4_keystream(key: bytes, length: int) -> bytes:
+    """Convenience: the first *length* keystream bytes for *key*."""
+    return RC4(key).keystream(length)

@@ -1,0 +1,162 @@
+"""A machine-readable specification of the THINC wire protocol.
+
+Single source of truth for what travels on the wire: every message
+type, its numeric id, direction, payload layout and the paper section
+it comes from.  The spec is checked against the implementation by the
+test suite (ids unique and matching, registry complete) and rendered to
+a protocol reference by :func:`render_protocol_reference` (used by
+``docs/PROTOCOL.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from . import commands as _commands
+from . import wire as _wire
+
+__all__ = ["MessageSpec", "PROTOCOL_SPEC", "render_protocol_reference"]
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """One wire message type."""
+
+    name: str
+    type_id: int
+    direction: str  # "s->c", "c->s"
+    section: str  # paper section introducing it
+    summary: str
+    payload: str  # field layout after the [type u8][len u32] frame
+    implementation: type
+
+
+PROTOCOL_SPEC: List[MessageSpec] = [
+    MessageSpec(
+        "RAW", 1, "s->c", "3/Table 1",
+        "Display raw pixel data at a given location; the last-resort "
+        "command and the only one that may be compressed (PNG-model).",
+        "rect[4xu16] compressed[u8] length[u32] payload[length]",
+        _commands.RawCommand),
+    MessageSpec(
+        "COPY", 2, "s->c", "3/Table 1",
+        "Copy a framebuffer area to new coordinates; accelerates "
+        "scrolling and opaque window movement with no pixel resend.",
+        "rect[4xu16] src_x[u16] src_y[u16]",
+        _commands.CopyCommand),
+    MessageSpec(
+        "SFILL", 3, "s->c", "3/Table 1",
+        "Fill an area with a single colour.",
+        "rect[4xu16] rgba[4xu8]",
+        _commands.SFillCommand),
+    MessageSpec(
+        "PFILL", 4, "s->c", "3/Table 1",
+        "Tile an area with a pixel pattern; the tile travels once.",
+        "rect[4xu16] tile_h[u8] tile_w[u8] origin_y[u8] origin_x[u8] "
+        "tile[tile_h*tile_w*4]",
+        _commands.PFillCommand),
+    MessageSpec(
+        "BITMAP", 5, "s->c", "3/Table 1",
+        "Fill a region through a 1-bit stipple with fg (and optional "
+        "bg) colours; transparent stipples carry glyph text.",
+        "rect[4xu16] fg[4xu8] has_bg[u8] bg[4xu8] mask[packed bits]",
+        _commands.BitmapCommand),
+    MessageSpec(
+        "COMPOSITE", 6, "s->c", "3 (alpha support)",
+        "Porter-Duff 'over' blend of an RGBA block (anti-aliased text, "
+        "translucency); payload compressed like RAW.",
+        "rect[4xu16] length[u32] payload[length]",
+        _commands.CompositeCommand),
+    MessageSpec(
+        "VFRAME", 7, "s->c", "4.2",
+        "One video frame in a YUV wire format, self-contained "
+        "(geometry and format ride along so frames survive stream "
+        "control reordering and drops).",
+        "rect[4xu16] stream[u16] frame_no[u32] format[u8] src_w[u16] "
+        "src_h[u16] length[u32] yuv[length]",
+        _commands.VideoFrameCommand),
+    MessageSpec(
+        "VSETUP", 16, "s->c", "4.2",
+        "Open a video stream on the client.",
+        "stream[u16] fmt_len[u8] src_w[u16] src_h[u16] rect[4xu16] "
+        "fmt[fmt_len]",
+        _wire.VideoSetupMessage),
+    MessageSpec(
+        "VMOVE", 17, "s->c", "4.2",
+        "Move/resize a stream's output window.",
+        "stream[u16] rect[4xu16]",
+        _wire.VideoMoveMessage),
+    MessageSpec(
+        "VTEARDOWN", 18, "s->c", "4.2",
+        "Close a video stream.",
+        "stream[u16]",
+        _wire.VideoTeardownMessage),
+    MessageSpec(
+        "AUDIO", 19, "s->c", "4.2/7",
+        "A block of PCM samples stamped with server playback time "
+        "(A/V synchronisation).",
+        "timestamp[f64] samples[rest]",
+        _wire.AudioChunkMessage),
+    MessageSpec(
+        "INPUT", 20, "c->s", "5",
+        "User input; the server marks nearby updates real-time.",
+        "kind[u8] x[u16] y[u16] time[f64]",
+        _wire.InputMessage),
+    MessageSpec(
+        "RESIZE", 21, "c->s", "6",
+        "Client reports its viewport; enables server-side scaling.",
+        "width[u16] height[u16]",
+        _wire.ResizeMessage),
+    MessageSpec(
+        "SCREEN_INIT", 22, "s->c", "7",
+        "Session framebuffer geometry (sent on attach and viewport "
+        "changes).",
+        "width[u16] height[u16]",
+        _wire.ScreenInitMessage),
+    MessageSpec(
+        "CURSOR_IMAGE", 23, "s->c", "7 (client simplicity)",
+        "New pointer shape; position is tracked client-side for "
+        "zero-latency pointer feedback.",
+        "hot_x[u16] hot_y[u16] width[u16] height[u16] rgba[w*h*4]",
+        _wire.CursorImageMessage),
+    MessageSpec(
+        "REFRESH", 24, "c->s", "(extension)",
+        "Client asks for a region resend after local state loss.",
+        "rect[4xu16]",
+        _wire.RefreshRequestMessage),
+    MessageSpec(
+        "ZOOM", 25, "c->s", "6",
+        "Client zooms its viewport onto a desktop region; an empty "
+        "rect zooms back out to the full desktop. The server rescales "
+        "subsequent updates and pushes a refresh of the view.",
+        "rect[4xu16]",
+        _wire.ZoomRequestMessage),
+]
+
+
+def render_protocol_reference() -> str:
+    """The protocol reference document, generated from the spec."""
+    lines = [
+        "# THINC wire protocol reference",
+        "",
+        "Generated from `repro.protocol.spec` (the test suite keeps the",
+        "spec and the implementation in lock step). Every message is",
+        "framed as `[type u8][length u32][payload]`, big-endian",
+        "throughout; when RC4 is enabled the whole framed stream is",
+        "encrypted.",
+        "",
+        "| id | message | dir | paper | payload |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in PROTOCOL_SPEC:
+        lines.append(
+            f"| {spec.type_id} | `{spec.name}` | {spec.direction} | "
+            f"{spec.section} | `{spec.payload}` |")
+    lines.append("")
+    for spec in PROTOCOL_SPEC:
+        lines.append(f"## {spec.type_id} — {spec.name}")
+        lines.append("")
+        lines.append(spec.summary)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,353 @@
+"""Wire format: message framing for the THINC protocol.
+
+Every protocol message is framed as::
+
+    +------+----------+-----------------+
+    | type | length   | payload         |
+    | u8   | u32 (BE) | `length` bytes  |
+    +------+----------+-----------------+
+
+Display commands (``repro.protocol.commands``) are one message family;
+this module adds the stream-control and session messages: video stream
+lifecycle (Section 4.2), audio chunks with server-side timestamps,
+client input events, the client's viewport-size report that drives
+server-side scaling (Section 6), and the initial screen geometry.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from ..region import Rect
+from .commands import Command, decode_command
+
+__all__ = [
+    "StreamParser",
+    "CursorImageMessage",
+    "RefreshRequestMessage",
+    "ZoomRequestMessage",
+    "VideoSetupMessage",
+    "VideoMoveMessage",
+    "VideoTeardownMessage",
+    "AudioChunkMessage",
+    "InputMessage",
+    "ResizeMessage",
+    "ScreenInitMessage",
+    "Message",
+    "frame_message",
+    "parse_messages",
+    "encode_message",
+]
+
+_FRAME = struct.Struct(">BI")
+
+# Message type ids 1..7 belong to display commands (commands.py).
+_VSETUP, _VMOVE, _VTEARDOWN = 16, 17, 18
+_AUDIO = 19
+_INPUT = 20
+_RESIZE = 21
+_SCREEN_INIT = 22
+_CURSOR_IMAGE = 23
+_REFRESH = 24
+_ZOOM = 25
+
+_INPUT_KINDS = ("mouse-move", "mouse-click", "key")
+
+
+@dataclass(frozen=True)
+class VideoSetupMessage:
+    """Open a video stream on the client (format + geometry)."""
+
+    stream_id: int
+    pixel_format: str
+    src_width: int
+    src_height: int
+    dst_rect: Rect
+
+    type_id = _VSETUP
+
+    def encode_payload(self) -> bytes:
+        fmt = self.pixel_format.encode("ascii")
+        return struct.pack(">HBHHHHHH", self.stream_id, len(fmt),
+                           self.src_width, self.src_height,
+                           *self.dst_rect.as_tuple()) + fmt
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "VideoSetupMessage":
+        sid, fmt_len, sw, sh, x, y, w, h = struct.unpack_from(
+            ">HBHHHHHH", data)
+        fmt = data[15 : 15 + fmt_len].decode("ascii")
+        return cls(sid, fmt, sw, sh, Rect(x, y, w, h))
+
+
+@dataclass(frozen=True)
+class VideoMoveMessage:
+    """Move/resize a stream's output window."""
+
+    stream_id: int
+    dst_rect: Rect
+
+    type_id = _VMOVE
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HHHHH", self.stream_id,
+                           *self.dst_rect.as_tuple())
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "VideoMoveMessage":
+        sid, x, y, w, h = struct.unpack_from(">HHHHH", data)
+        return cls(sid, Rect(x, y, w, h))
+
+
+@dataclass(frozen=True)
+class VideoTeardownMessage:
+    """Close a video stream."""
+
+    stream_id: int
+
+    type_id = _VTEARDOWN
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">H", self.stream_id)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "VideoTeardownMessage":
+        (sid,) = struct.unpack_from(">H", data)
+        return cls(sid)
+
+
+@dataclass(frozen=True)
+class AudioChunkMessage:
+    """A block of audio samples stamped with server time (Section 4.2)."""
+
+    timestamp: float
+    samples: bytes
+
+    type_id = _AUDIO
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">d", self.timestamp) + self.samples
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "AudioChunkMessage":
+        (ts,) = struct.unpack_from(">d", data)
+        return cls(ts, data[8:])
+
+
+@dataclass(frozen=True)
+class InputMessage:
+    """Client-to-server user input."""
+
+    kind: str
+    x: int
+    y: int
+    time: float
+
+    type_id = _INPUT
+
+    def encode_payload(self) -> bytes:
+        kind_id = _INPUT_KINDS.index(self.kind)
+        return struct.pack(">BHHd", kind_id, self.x, self.y, self.time)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "InputMessage":
+        kind_id, x, y, t = struct.unpack_from(">BHHd", data)
+        if kind_id >= len(_INPUT_KINDS):
+            raise ValueError(f"unknown input kind id {kind_id}")
+        return cls(_INPUT_KINDS[kind_id], x, y, t)
+
+
+@dataclass(frozen=True)
+class ResizeMessage:
+    """Client reports its viewport size; enables server-side scaling."""
+
+    width: int
+    height: int
+
+    type_id = _RESIZE
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HH", self.width, self.height)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ResizeMessage":
+        w, h = struct.unpack_from(">HH", data)
+        return cls(w, h)
+
+
+@dataclass(frozen=True)
+class CursorImageMessage:
+    """Server pushes a new cursor shape; the client tracks position
+    locally for zero-latency pointer feedback (hardware cursor model).
+    """
+
+    hot_x: int
+    hot_y: int
+    width: int
+    height: int
+    rgba: bytes  # width*height*4 straight-alpha pixels
+
+    type_id = _CURSOR_IMAGE
+
+    def __post_init__(self):
+        if len(self.rgba) != self.width * self.height * 4:
+            raise ValueError("cursor pixel payload does not match size")
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HHHH", self.hot_x, self.hot_y, self.width,
+                           self.height) + self.rgba
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "CursorImageMessage":
+        hx, hy, w, h = struct.unpack_from(">HHHH", data)
+        return cls(hx, hy, w, h, data[8 : 8 + w * h * 4])
+
+
+@dataclass(frozen=True)
+class RefreshRequestMessage:
+    """Client asks the server to resend a screen region.
+
+    Sent after client-side state loss (a suspend/resume, a corrupted
+    blit) — the server answers with RAW content for the region, in
+    *server* coordinates (the client converts from its viewport).
+    """
+
+    rect: Rect
+
+    type_id = _REFRESH
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HHHH", *self.rect.as_tuple())
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "RefreshRequestMessage":
+        x, y, w, h = struct.unpack_from(">HHHH", data)
+        return cls(Rect(x, y, w, h))
+
+
+@dataclass(frozen=True)
+class ZoomRequestMessage:
+    """Client chooses the part of the desktop its viewport shows.
+
+    Section 6: from the zoomed-out view of the whole desktop, the user
+    zooms in on a section; the server then scales updates from that
+    region and pushes a refresh with enough content for the new level.
+    An empty request returns to the full-desktop view.
+    """
+
+    rect: Rect
+
+    type_id = _ZOOM
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HHHH", *self.rect.as_tuple())
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ZoomRequestMessage":
+        x, y, w, h = struct.unpack_from(">HHHH", data)
+        return cls(Rect(x, y, w, h))
+
+
+@dataclass(frozen=True)
+class ScreenInitMessage:
+    """Server announces the session's framebuffer geometry."""
+
+    width: int
+    height: int
+
+    type_id = _SCREEN_INIT
+
+    def encode_payload(self) -> bytes:
+        return struct.pack(">HH", self.width, self.height)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ScreenInitMessage":
+        w, h = struct.unpack_from(">HH", data)
+        return cls(w, h)
+
+
+_CONTROL_TYPES = {
+    cls.type_id: cls
+    for cls in (VideoSetupMessage, VideoMoveMessage, VideoTeardownMessage,
+                AudioChunkMessage, InputMessage, ResizeMessage,
+                ScreenInitMessage, CursorImageMessage,
+                RefreshRequestMessage, ZoomRequestMessage)
+}
+
+Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
+                VideoTeardownMessage, AudioChunkMessage, InputMessage,
+                ResizeMessage, ScreenInitMessage]
+
+
+def encode_message(msg: Message) -> bytes:
+    """Frame one message (display command or control message)."""
+    if isinstance(msg, Command):
+        body = msg.encode()
+        # Command.encode already leads with its type byte; reuse it.
+        return frame_message(body[0], body[1:])
+    return frame_message(msg.type_id, msg.encode_payload())
+
+
+def frame_message(type_id: int, payload: bytes) -> bytes:
+    return _FRAME.pack(type_id, len(payload)) + payload
+
+
+def parse_messages(data: bytes):
+    """Parse a byte stream into messages; raises on truncation."""
+    out = []
+    offset = 0
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            raise ValueError("truncated message frame")
+        type_id, length = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size
+        if offset + length > len(data):
+            raise ValueError("truncated message payload")
+        payload = data[offset : offset + length]
+        offset += length
+        if type_id in _CONTROL_TYPES:
+            out.append(_CONTROL_TYPES[type_id].decode_payload(payload))
+        else:
+            # Display command: restore the leading type byte.
+            out.append(decode_command(bytes([type_id]) + payload))
+    return out
+
+
+class StreamParser:
+    """Incremental message parser over an arbitrary byte-chunk stream.
+
+    Network delivery hands the client data in transport-sized pieces
+    that rarely align with message boundaries; the parser buffers the
+    tail until a frame completes.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes):
+        """Absorb a chunk and return the messages completed by it."""
+        self._buffer.extend(chunk)
+        out = []
+        offset = 0
+        while True:
+            if offset + _FRAME.size > len(self._buffer):
+                break
+            type_id, length = _FRAME.unpack_from(self._buffer, offset)
+            end = offset + _FRAME.size + length
+            if end > len(self._buffer):
+                break
+            payload = bytes(self._buffer[offset + _FRAME.size : end])
+            if type_id in _CONTROL_TYPES:
+                out.append(_CONTROL_TYPES[type_id].decode_payload(payload))
+            else:
+                out.append(decode_command(bytes([type_id]) + payload))
+            offset = end
+        del self._buffer[:offset]
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of their frame."""
+        return len(self._buffer)

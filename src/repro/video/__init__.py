@@ -1,0 +1,5 @@
+"""Video support: YUV formats and stream objects (paper Section 4.2)."""
+
+from . import yuv
+
+__all__ = ["yuv"]

@@ -1,0 +1,16 @@
+"""Application workloads: web browsing, A/V playback, interactive use."""
+
+from .interactive import TypingUnderLoadWorkload
+from .terminal import TerminalApp
+from .video import AVPlayerApp
+from .web import PAGE_COUNT, WebBrowserApp, WebPage, make_page_set
+
+__all__ = [
+    "WebPage",
+    "WebBrowserApp",
+    "make_page_set",
+    "PAGE_COUNT",
+    "AVPlayerApp",
+    "TypingUnderLoadWorkload",
+    "TerminalApp",
+]

@@ -1,0 +1,117 @@
+"""Tests for the baseline systems' encoders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (Encoder, GoToMyPCEncoder, SunRayEncoder,
+                             VncEncoder, quantize_8bit)
+from repro.baselines.sunray import SFILL_WIRE
+from repro.protocol import compression
+
+
+def flat(w, h, value=200):
+    img = np.full((h, w, 4), value, dtype=np.uint8)
+    img[..., 3] = 255
+    return img
+
+
+def noise(w, h, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, (h, w, 4), dtype=np.uint8)
+    img[..., 3] = 255
+    return img
+
+
+class TestQuantize:
+    def test_8bit_has_at_most_256_colors(self):
+        img = noise(64, 64)
+        q = quantize_8bit(img)
+        colors = np.unique(q.reshape(-1, 4), axis=0)
+        assert len(colors) <= 256
+
+    def test_flat_unchanged_in_structure(self):
+        q = quantize_8bit(flat(8, 8, 224))
+        assert np.all(q[..., 0] == 224)  # 224 is a 3-bit boundary
+
+    def test_does_not_mutate_input(self):
+        img = noise(8, 8)
+        before = img.copy()
+        quantize_8bit(img)
+        assert np.array_equal(img, before)
+
+
+class TestBaseEncoder:
+    def test_raw_size(self):
+        enc = Encoder()
+        img = flat(10, 10)
+        assert enc.encode_size(img) == img.nbytes
+        assert enc.cpu_cost(img) == 0.0
+
+
+class TestVncEncoder:
+    def test_flat_content_tiny(self):
+        enc = VncEncoder()
+        assert enc.encode_size(flat(64, 64)) < 200
+
+    def test_noise_capped_near_raw(self):
+        enc = VncEncoder()
+        img = noise(64, 64)
+        size = enc.encode_size(img)
+        assert size <= img.nbytes * 1.1
+
+    def test_adaptive_compresses_harder(self):
+        lan = VncEncoder(adaptive=False)
+        wan = VncEncoder(adaptive=True)
+        img = noise(64, 64, seed=1)
+        # Structured-but-not-flat content: WAN effort pays off.
+        img[:, :32] = flat(32, 64)[:, :]
+        assert wan.encode_size(img) <= lan.encode_size(img)
+
+    def test_adaptive_costs_more_cpu(self):
+        img = noise(64, 64)
+        assert VncEncoder(True).cpu_cost(img) > VncEncoder(False).cpu_cost(img)
+
+
+class TestSunRayEncoder:
+    def test_solid_region_detected_as_fill(self):
+        enc = SunRayEncoder()
+        assert enc.encode_size(flat(64, 64)) == SFILL_WIRE
+
+    def test_mixed_region_fills_detected_per_tile(self):
+        enc = SunRayEncoder()
+        img = noise(128, 64, seed=2)
+        img[:, :64] = flat(64, 64)[:, :]
+        mixed = enc.encode_size(img)
+        pure_noise = enc.encode_size(noise(128, 64, seed=3))
+        assert mixed < pure_noise * 0.7
+
+    def test_inference_costs_cpu_even_for_fills(self):
+        enc = SunRayEncoder()
+        assert enc.cpu_cost(flat(64, 64)) > 0
+
+    def test_adaptive_reduces_size_increases_cpu(self):
+        img = noise(64, 64, seed=4)
+        img[::2] //= 2  # some structure for DEFLATE
+        lan, wan = SunRayEncoder(False), SunRayEncoder(True)
+        assert wan.encode_size(img) < lan.encode_size(img)
+        assert wan.cpu_cost(img) > lan.cpu_cost(img)
+
+
+class TestGoToMyPCEncoder:
+    def test_compresses_below_8bit_raw_on_screen_content(self):
+        enc = GoToMyPCEncoder()
+        img = noise(64, 64, seed=5)
+        img[:, :48] = flat(48, 64)[:, :]  # desktops are mostly flat
+        # 8-bit raw would be w*h bytes; heavy DEFLATE beats it easily.
+        assert enc.encode_size(img) < 64 * 64 / 2
+
+    def test_noise_costs_at_most_8bit_raw_plus_overhead(self):
+        enc = GoToMyPCEncoder()
+        img = noise(64, 64, seed=5)
+        assert enc.encode_size(img) <= 64 * 64 * 1.05
+
+    def test_cpu_cost_is_heavy(self):
+        img = noise(64, 64)
+        slow = GoToMyPCEncoder().cpu_cost(img)
+        fast = VncEncoder().cpu_cost(img)
+        assert slow > 5 * fast

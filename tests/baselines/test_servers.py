@@ -1,0 +1,188 @@
+"""Tests for the scrape/forward baseline server machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BaselineClient, ForwardServer, ScrapeServer,
+                             VncEncoder, price_x_command)
+from repro.baselines.nx import NXPricer
+from repro.baselines.rdp import OrdersPricer
+from repro.display import WindowServer, solid_pixels
+from repro.net import Connection, EventLoop, LinkParams, PacketMonitor
+from repro.region import Rect
+
+FAST = LinkParams("fast", bandwidth_bps=100e6, rtt=0.002)
+RED = (255, 0, 0, 255)
+
+
+def scrape_rig(pull=False, encoder=None, link=FAST, **kw):
+    loop = EventLoop()
+    mon = PacketMonitor()
+    conn = Connection(loop, link, monitor=mon)
+    ws = WindowServer(128, 96, clock=loop.clock)
+    server = ScrapeServer(loop, conn, ws, encoder or VncEncoder(),
+                          pull=pull, **kw)
+    client = BaselineClient(loop, conn, pull=pull)
+    return loop, mon, ws, server, client
+
+
+def forward_rig(price, link=FAST, **kw):
+    loop = EventLoop()
+    mon = PacketMonitor()
+    conn = Connection(loop, link, monitor=mon)
+    ws = WindowServer(128, 96, clock=loop.clock)
+    server = ForwardServer(loop, conn, ws, price=price, **kw)
+    client = BaselineClient(loop, conn)
+    return loop, mon, ws, server, client
+
+
+class TestScrapeServer:
+    def test_push_delivers_damage(self):
+        loop, mon, ws, server, client = scrape_rig(pull=False)
+        ws.fill_rect(ws.screen, Rect(0, 0, 32, 32), RED)
+        loop.run_until_idle(max_time=5)
+        assert client.stats["updates"] >= 1
+        assert client.stats["bytes_received"] > 0
+
+    def test_pull_waits_for_request(self):
+        loop, mon, ws, server, client = scrape_rig(pull=True)
+        loop.run_until_idle(max_time=1)  # initial request lands
+        before = client.stats["updates"]
+        ws.fill_rect(ws.screen, Rect(0, 0, 32, 32), RED)
+        loop.run_until_idle(max_time=5)
+        assert client.stats["updates"] > before
+
+    def test_damage_coalesces_stale_content(self):
+        """Many overwrites of one region cost roughly one update."""
+        loop, mon, ws, server, client = scrape_rig(pull=False)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            ws.put_image(ws.screen, Rect(0, 0, 64, 64),
+                         rng.integers(0, 256, (64, 64, 4), dtype=np.uint8))
+        loop.run_until_idle(max_time=10)
+        one_frame = 64 * 64 * 4
+        assert mon.total_bytes("server->client") < 4 * one_frame
+
+    def test_offscreen_drawing_makes_no_damage(self):
+        loop, mon, ws, server, client = scrape_rig(pull=False)
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 32, 32), RED)
+        loop.run_until_idle(max_time=2)
+        assert client.stats["updates"] == 0
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 32), 0, 0)
+        loop.run_until_idle(max_time=5)
+        assert client.stats["updates"] >= 1
+
+    def test_video_frames_tagged(self):
+        from repro.video import yuv
+
+        loop, mon, ws, server, client = scrape_rig(pull=False)
+        stream = ws.video_create_stream("YV12", 16, 12, Rect(0, 0, 64, 48))
+        rgb = np.zeros((12, 16, 3), dtype=np.uint8)
+        frame = yuv.pack_yv12(*yuv.rgb_to_yv12(rgb))
+        for _ in range(3):
+            ws.video_put_frame(stream, frame)
+            loop.run_until_idle(max_time=10)
+        assert len(client.video_frames_seen) == 3
+
+    def test_cpu_cost_delays_delivery(self):
+        class SlowEncoder(VncEncoder):
+            def cpu_cost(self, pixels):
+                return 0.5
+
+        loop, mon, ws, server, client = scrape_rig(
+            pull=False, encoder=SlowEncoder())
+        ws.fill_rect(ws.screen, Rect(0, 0, 32, 32), RED)
+        loop.run_until_idle(max_time=10)
+        assert client.stats["last_update_time"] >= 0.5
+        assert server.server_cpu_time >= 0.5
+
+    def test_input_routed_to_handler(self):
+        loop, mon, ws, server, client = scrape_rig(pull=False)
+        seen = []
+        server.input_handler = lambda x, y: seen.append((x, y))
+        client.send_input("mouse-click", 7, 9)
+        loop.run_until_idle(max_time=2)
+        assert seen == [(7, 9)]
+
+
+class TestForwardServer:
+    def test_commands_priced_and_delivered(self):
+        loop, mon, ws, server, client = forward_rig(price_x_command)
+        ws.fill_rect(ws.screen, Rect(0, 0, 32, 32), RED)
+        ws.draw_text(ws.screen, 2, 40, "hello", RED)
+        loop.run_until_idle(max_time=5)
+        assert server.commands_seen == 2
+        assert client.stats["updates"] == 2
+
+    def test_offscreen_forwarding_flag(self):
+        # X forwards offscreen work; RDP-style servers do not.
+        loop, mon, ws, x_server, client = forward_rig(
+            price_x_command, forward_offscreen=True)
+        pm = ws.create_pixmap(16, 16)
+        ws.fill_rect(pm, Rect(0, 0, 16, 16), RED)
+        assert x_server.commands_seen == 1
+
+        loop2, mon2, ws2, rdp_server, client2 = forward_rig(
+            OrdersPricer("rdp"))
+        pm2 = ws2.create_pixmap(16, 16)
+        ws2.fill_rect(pm2, Rect(0, 0, 16, 16), RED)
+        assert rdp_server.commands_seen == 0
+
+    def test_sync_round_trips_add_latency(self):
+        slow = LinkParams("slow-rtt", bandwidth_bps=100e6, rtt=0.1)
+        loop, mon, ws, server, client = forward_rig(
+            price_x_command, link=slow, sync_every=2)
+        for i in range(4):
+            ws.fill_rect(ws.screen, Rect(i * 8, 0, 8, 8), RED)
+        loop.run_until_idle(max_time=30)
+        assert server.sync_round_trips == 2
+        # The last update waited for at least two synchronous RTTs plus
+        # the delivery half-RTT.
+        assert client.stats["last_update_time"] > 0.2
+
+    def test_images_cost_pixels_fills_cost_little(self):
+        loop, mon, ws, server, client = forward_rig(price_x_command)
+        ws.fill_rect(ws.screen, Rect(0, 0, 64, 64), RED)
+        loop.run_until_idle(max_time=5)
+        fill_bytes = mon.total_bytes("server->client")
+        rng = np.random.default_rng(1)
+        ws.put_image(ws.screen, Rect(0, 0, 64, 64),
+                     rng.integers(0, 256, (64, 64, 4), dtype=np.uint8))
+        loop.run_until_idle(max_time=5)
+        image_bytes = mon.total_bytes("server->client") - fill_bytes
+        assert image_bytes > 20 * fill_bytes
+
+    def test_rdp_offscreen_copy_ships_bitmap(self):
+        loop, mon, ws, server, client = forward_rig(OrdersPricer("rdp"))
+        pm = ws.create_pixmap(64, 64)
+        rng = np.random.default_rng(2)
+        ws.put_image(pm, Rect(0, 0, 64, 64),
+                     rng.integers(0, 256, (64, 64, 4), dtype=np.uint8))
+        loop.run_until_idle(max_time=2)
+        assert mon.total_bytes() < 100  # offscreen invisible to RDP
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 64, 64), 0, 0)
+        loop.run_until_idle(max_time=5)
+        assert mon.total_bytes("server->client") > 5000
+
+    def test_nx_prices_below_x_for_protocol_chatter(self):
+        loop, mon, ws, server, client = forward_rig(NXPricer())
+        for i in range(20):
+            ws.fill_rect(ws.screen, Rect(i, 0, 1, 8), RED)
+        loop.run_until_idle(max_time=5)
+        nx_bytes = mon.total_bytes("server->client")
+
+        loop2, mon2, ws2, server2, client2 = forward_rig(price_x_command)
+        for i in range(20):
+            ws2.fill_rect(ws2.screen, Rect(i, 0, 1, 8), RED)
+        loop2.run_until_idle(max_time=5)
+        x_bytes = mon2.total_bytes("server->client")
+        assert nx_bytes < x_bytes
+
+    def test_audio_chunks_travel_with_compression(self):
+        loop, mon, ws, server, client = forward_rig(OrdersPricer("rdp"))
+        server.submit_audio(1.0, b"\x00" * 4000, compression_factor=0.25)
+        loop.run_until_idle(max_time=5)
+        assert client.stats["audio_chunks"] == 1
+        assert 900 < client.audio_arrivals[0][0] * 1000 < 1100
+        assert mon.total_bytes("server->client") < 2000

@@ -1,0 +1,85 @@
+"""Tests for the post-run analysis helpers."""
+
+import pytest
+
+from repro.bench.analysis import (bandwidth_timeline, command_mix,
+                                  latency_stats)
+from repro.net import PacketMonitor
+from repro.protocol import wire
+from repro.protocol.commands import SFillCommand
+from repro.protocol.trace import TraceRecord
+from repro.region import Rect
+
+RED = (200, 0, 0, 255)
+
+
+def make_records():
+    msgs = [
+        wire.ScreenInitMessage(64, 48),
+        SFillCommand(Rect(0, 0, 8, 8), RED),
+        SFillCommand(Rect(8, 0, 8, 8), RED),
+        wire.AudioChunkMessage(0.0, b"\x00" * 100),
+    ]
+    return [TraceRecord(0.1 * i, wire.encode_message(m))
+            for i, m in enumerate(msgs)]
+
+
+class TestCommandMix:
+    def test_counts_and_shares(self):
+        mix = command_mix(make_records())
+        assert mix.counts["sfill"] == 2
+        assert mix.counts["AudioChunkMessage"] == 1
+        assert mix.total_commands == 4
+        assert 0 < mix.share("sfill") < 1
+        assert mix.share("nonexistent") == 0.0
+
+    def test_table_rows_sorted_by_bytes(self):
+        mix = command_mix(make_records())
+        rows = mix.table_rows()
+        byte_cols = [int(r[2].replace(",", "")) for r in rows]
+        assert byte_cols == sorted(byte_cols, reverse=True)
+
+    def test_empty_trace(self):
+        mix = command_mix([])
+        assert mix.total_commands == 0
+        assert mix.share("sfill") == 0.0
+
+
+class TestLatencyStats:
+    def test_order_statistics(self):
+        stats = latency_stats([0.010, 0.020, 0.030, 0.040, 0.100])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(0.040)
+        assert stats.median == pytest.approx(0.030)
+        assert stats.maximum == pytest.approx(0.100)
+        assert stats.p95 == pytest.approx(0.100)
+
+    def test_single_sample(self):
+        stats = latency_stats([0.05])
+        assert stats.median == stats.p95 == stats.maximum == 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_stats([])
+
+    def test_row_rendering(self):
+        row = latency_stats([0.01, 0.02]).row("srsf")
+        assert row[0] == "srsf"
+        assert row[1] == "2"
+        assert all("ms" in cell for cell in row[2:])
+
+
+class TestBandwidthTimeline:
+    def test_bucketing(self):
+        mon = PacketMonitor()
+        mon.record(0.1, "server->client", 125_000)  # 1 Mbit
+        mon.record(0.2, "server->client", 125_000)
+        mon.record(1.1, "server->client", 125_000)
+        mon.record(1.2, "client->server", 999_999)  # other direction
+        timeline = bandwidth_timeline(mon, bucket=1.0)
+        assert timeline == [(0.0, pytest.approx(2.0)),
+                            (1.0, pytest.approx(1.0))]
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            bandwidth_timeline(PacketMonitor(), bucket=0)

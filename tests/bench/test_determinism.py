@@ -1,0 +1,53 @@
+"""Simulation determinism: identical runs produce identical traces.
+
+Everything in the testbed — workload generation, translation, the
+event loop's tie-breaking, the loss process — is deterministic, so any
+benchmark result is exactly reproducible.  This is also what makes the
+shape assertions in benchmarks/ stable.
+"""
+
+from repro.bench.testbed import run_av_benchmark, run_web_benchmark
+from repro.net import EventLoop, LAN_DESKTOP, LinkParams, PacketMonitor
+from repro.video.stream import SyntheticVideoClip
+
+
+class TestWebDeterminism:
+    def test_identical_page_runs(self):
+        a = run_web_benchmark("THINC", LAN_DESKTOP, "a", page_count=3,
+                              width=512, height=384)
+        b = run_web_benchmark("THINC", LAN_DESKTOP, "b", page_count=3,
+                              width=512, height=384)
+        assert [p.latency for p in a.pages] == [p.latency for p in b.pages]
+        assert [p.bytes_transferred for p in a.pages] == \
+            [p.bytes_transferred for p in b.pages]
+
+    def test_baseline_runs_deterministic_too(self):
+        a = run_web_benchmark("VNC", LAN_DESKTOP, "a", page_count=2,
+                              width=512, height=384)
+        b = run_web_benchmark("VNC", LAN_DESKTOP, "b", page_count=2,
+                              width=512, height=384)
+        assert a.mean_latency == b.mean_latency
+        assert a.total_bytes == b.total_bytes
+
+
+class TestAVDeterminism:
+    def test_identical_av_runs(self):
+        clip = SyntheticVideoClip(width=32, height=24, fps=24, duration=0.5)
+        a = run_av_benchmark("THINC", LAN_DESKTOP, "a", clip=clip,
+                             width=128, height=96)
+        b = run_av_benchmark("THINC", LAN_DESKTOP, "b", clip=clip,
+                             width=128, height=96)
+        assert a.bytes_transferred == b.bytes_transferred
+        assert a.actual_duration == b.actual_duration
+        assert a.av_quality == b.av_quality
+
+    def test_lossy_runs_deterministic(self):
+        """Even the loss process is a seeded RNG, not wall-clock noise."""
+        clip = SyntheticVideoClip(width=32, height=24, fps=24, duration=0.5)
+        lossy = LinkParams("w", bandwidth_bps=5e6, rtt=0.02).with_loss(0.03)
+        a = run_av_benchmark("THINC", lossy, "a", clip=clip,
+                             width=128, height=96)
+        b = run_av_benchmark("THINC", lossy, "b", clip=clip,
+                             width=128, height=96)
+        assert a.bytes_transferred == b.bytes_transferred
+        assert a.av_quality == b.av_quality

@@ -1,0 +1,56 @@
+"""Tests for the Table 2 remote-site models."""
+
+import pytest
+
+from repro.bench.sites import (DEFAULT_WINDOW, PLANETLAB_WINDOW,
+                               REMOTE_SITES, site_link)
+
+
+class TestTable2:
+    def test_all_eleven_sites_present(self):
+        assert len(REMOTE_SITES) == 11
+        codes = [s.code for s in REMOTE_SITES]
+        assert codes == ["NY", "PA", "MA", "MN", "NM", "CA", "CAN", "IE",
+                         "PR", "FI", "KR"]
+
+    def test_planetlab_flags_match_paper(self):
+        planetlab = {s.code for s in REMOTE_SITES if s.planetlab}
+        assert planetlab == {"NY", "PA", "MA", "MN", "CAN", "KR"}
+
+    def test_distances_match_paper(self):
+        by_code = {s.code: s.distance_miles for s in REMOTE_SITES}
+        assert by_code["NY"] == 5
+        assert by_code["KR"] == 6885
+        assert by_code["FI"] == 4123
+
+    def test_rtt_grows_with_distance(self):
+        ordered = sorted(REMOTE_SITES, key=lambda s: s.distance_miles)
+        rtts = [s.rtt for s in ordered]
+        assert rtts == sorted(rtts)
+
+    def test_rtt_plausible_ranges(self):
+        by_code = {s.code: s for s in REMOTE_SITES}
+        assert by_code["NY"].rtt < 0.01
+        assert 0.05 < by_code["FI"].rtt < 0.2
+        assert 0.15 < by_code["KR"].rtt < 0.3
+
+
+class TestSiteLinks:
+    def test_windows_match_constraints(self):
+        for site in REMOTE_SITES:
+            link = site_link(site)
+            if site.planetlab:
+                assert link.tcp_window == PLANETLAB_WINDOW
+            else:
+                assert link.tcp_window == DEFAULT_WINDOW
+
+    def test_korea_is_window_limited_below_video_rate(self):
+        """The Figure 7 anomaly: 256 KB / RTT < the ~24 Mbps stream."""
+        kr = next(s for s in REMOTE_SITES if s.code == "KR")
+        link = site_link(kr)
+        assert link.throughput * 8 / 1e6 < 24
+
+    def test_finland_supports_video_rate(self):
+        fi = next(s for s in REMOTE_SITES if s.code == "FI")
+        link = site_link(fi)
+        assert link.throughput * 8 / 1e6 > 24

@@ -1,0 +1,77 @@
+"""Tests for slow-motion benchmarking result types."""
+
+import pytest
+
+from repro.bench.slowmotion import (AVRunResult, PageMeasurement,
+                                    WebRunResult, measure_page)
+from repro.net import PacketMonitor
+
+
+def av(frames_received=100, frames_sent=100, actual=10.0, ideal=10.0,
+       nbytes=10**6, audio=True, aq=1.0, scale=1.0):
+    return AVRunResult(platform="T", network="lan",
+                       frames_sent=frames_sent,
+                       frames_received=frames_received,
+                       ideal_duration=ideal, actual_duration=actual,
+                       bytes_transferred=nbytes, audio_supported=audio,
+                       audio_quality=aq, full_duration_scale=scale)
+
+
+class TestWebRunResult:
+    def test_means(self):
+        r = WebRunResult("T", "lan", pages=[
+            PageMeasurement(0, 0.0, 0.1, 0.12, 1000),
+            PageMeasurement(1, 1.0, 0.3, 0.36, 3000),
+        ])
+        assert r.mean_latency == pytest.approx(0.2)
+        assert r.mean_latency_with_processing == pytest.approx(0.24)
+        assert r.mean_page_bytes == pytest.approx(2000)
+        assert r.total_bytes == 4000
+
+
+class TestAVRunResult:
+    def test_perfect_quality(self):
+        assert av().av_quality == pytest.approx(1.0)
+
+    def test_drops_scale_quality(self):
+        assert av(frames_received=50).av_quality == pytest.approx(0.5)
+
+    def test_stretch_scales_quality(self):
+        assert av(actual=20.0).av_quality == pytest.approx(0.5)
+
+    def test_audio_lateness_degrades_slightly(self):
+        good = av(aq=1.0).av_quality
+        bad = av(aq=0.0).av_quality
+        assert bad == pytest.approx(0.9)
+        assert good > bad
+
+    def test_video_only_platform_ignores_audio(self):
+        assert av(audio=False, aq=0.0).av_quality == pytest.approx(1.0)
+
+    def test_bandwidth(self):
+        r = av(nbytes=10**6, actual=8.0)
+        assert r.bandwidth_mbps == pytest.approx(1.0)
+
+    def test_extrapolation(self):
+        r = av(nbytes=10**6, scale=6.95)
+        assert r.total_bytes_full_clip == pytest.approx(6.95e6)
+
+
+class TestMeasurePage:
+    def test_reads_trace_window(self):
+        mon = PacketMonitor()
+        mon.record(1.0, "client->server", 40)
+        mon.record(1.1, "server->client", 1000)
+        mon.record(1.4, "server->client", 500)
+        m = measure_page(mon, 0, click_time=1.0, end_time=2.0,
+                         processing_time_delta=0.05)
+        assert m.latency == pytest.approx(0.4)
+        assert m.latency_with_processing == pytest.approx(0.45)
+        assert m.bytes_transferred == 1540
+
+    def test_no_response_measures_zero(self):
+        mon = PacketMonitor()
+        m = measure_page(mon, 0, click_time=1.0, end_time=2.0,
+                         processing_time_delta=0.0)
+        assert m.latency == 0.0
+        assert m.bytes_transferred == 0

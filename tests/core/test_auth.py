@@ -1,0 +1,124 @@
+"""Tests for the Section 7 authentication and session-sharing model."""
+
+import pytest
+
+from repro.core.auth import (AccountDatabase, AuthError, Authenticator,
+                             SessionRegistry)
+
+
+@pytest.fixture
+def stack():
+    accounts = AccountDatabase()
+    accounts.add_user("alice", "wonderland")
+    accounts.add_user("bob", "builder")
+    sessions = SessionRegistry()
+    sessions.create("alice:0", "alice")
+    return accounts, sessions, Authenticator(accounts, sessions)
+
+
+class TestAccounts:
+    def test_verify_correct_password(self, stack):
+        accounts, _, _ = stack
+        assert accounts.verify("alice", "wonderland")
+
+    def test_reject_wrong_password(self, stack):
+        accounts, _, _ = stack
+        assert not accounts.verify("alice", "hearts")
+
+    def test_reject_unknown_user(self, stack):
+        accounts, _, _ = stack
+        assert not accounts.verify("mallory", "x")
+
+    def test_passwords_salted(self):
+        db = AccountDatabase()
+        db.add_user("a", "same")
+        db.add_user("b", "same")
+        assert db._users["a"][1] != db._users["b"][1]
+
+    def test_remove_user(self, stack):
+        accounts, _, _ = stack
+        accounts.remove_user("bob")
+        assert "bob" not in accounts
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AccountDatabase().add_user("", "x")
+
+
+class TestOwnership:
+    def test_owner_connects(self, stack):
+        _, sessions, auth = stack
+        result = auth.authenticate("alice", "wonderland", "alice:0")
+        assert result.role == "owner"
+        assert sessions.get("alice:0").connected == ["alice"]
+
+    def test_bad_password_rejected(self, stack):
+        _, _, auth = stack
+        with pytest.raises(AuthError):
+            auth.authenticate("alice", "nope", "alice:0")
+
+    def test_non_owner_rejected(self, stack):
+        _, _, auth = stack
+        with pytest.raises(AuthError):
+            auth.authenticate("bob", "builder", "alice:0")
+
+    def test_unknown_session_rejected(self, stack):
+        _, _, auth = stack
+        with pytest.raises(AuthError):
+            auth.authenticate("alice", "wonderland", "carol:0")
+
+
+class TestSharing:
+    def test_peer_joins_shared_session(self, stack):
+        _, sessions, auth = stack
+        sessions.get("alice:0").enable_sharing("collab")
+        result = auth.authenticate("bob", "builder", "alice:0",
+                                   share_password="collab")
+        assert result.role == "peer"
+        assert "bob" in sessions.get("alice:0").connected
+
+    def test_wrong_session_password_rejected(self, stack):
+        _, sessions, auth = stack
+        sessions.get("alice:0").enable_sharing("collab")
+        with pytest.raises(AuthError):
+            auth.authenticate("bob", "builder", "alice:0",
+                              share_password="wrong")
+
+    def test_unshared_session_rejects_peers(self, stack):
+        _, _, auth = stack
+        with pytest.raises(AuthError):
+            auth.authenticate("bob", "builder", "alice:0",
+                              share_password="anything")
+
+    def test_peer_still_needs_valid_account(self, stack):
+        _, sessions, auth = stack
+        sessions.get("alice:0").enable_sharing("collab")
+        with pytest.raises(AuthError):
+            auth.authenticate("mallory", "x", "alice:0",
+                              share_password="collab")
+
+    def test_disable_sharing_evicts_new_peers(self, stack):
+        _, sessions, auth = stack
+        record = sessions.get("alice:0")
+        record.enable_sharing("collab")
+        record.disable_sharing()
+        with pytest.raises(AuthError):
+            auth.authenticate("bob", "builder", "alice:0",
+                              share_password="collab")
+
+    def test_empty_share_password_rejected(self, stack):
+        _, sessions, _ = stack
+        with pytest.raises(ValueError):
+            sessions.get("alice:0").enable_sharing("")
+
+
+class TestRegistry:
+    def test_duplicate_session_rejected(self, stack):
+        _, sessions, _ = stack
+        with pytest.raises(ValueError):
+            sessions.create("alice:0", "alice")
+
+    def test_destroy(self, stack):
+        _, sessions, _ = stack
+        sessions.destroy("alice:0")
+        assert sessions.get("alice:0") is None

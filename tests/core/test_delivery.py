@@ -1,0 +1,274 @@
+"""Tests for the client buffer: push delivery and non-blocking flush."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientBuffer
+from repro.core.scheduler import SRSFScheduler
+from repro.display import Framebuffer
+from repro.protocol import (BitmapCommand, CopyCommand, RawCommand,
+                            SFillCommand, decode_command)
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+GREEN = (0, 255, 0, 255)
+
+
+class FakeWriter:
+    """A writer with a fixed room per flush period."""
+
+    def __init__(self, room):
+        self.room = room
+        self.chunks = []
+
+    def writable_bytes(self):
+        return self.room
+
+    def write(self, data):
+        assert len(data) <= self.room
+        self.room -= len(data)
+        self.chunks.append(data)
+
+
+def raw(rect, seed=0):
+    rng = np.random.default_rng(seed)
+    return RawCommand(rect, rng.integers(0, 256,
+                                         (rect.height, rect.width, 4),
+                                         dtype=np.uint8), compress=False)
+
+
+class TestFlushBasics:
+    def test_flush_sends_everything_when_room(self):
+        buf = ClientBuffer()
+        buf.add(SFillCommand(Rect(0, 0, 4, 4), RED))
+        buf.add(SFillCommand(Rect(20, 0, 4, 4), GREEN))
+        w = FakeWriter(10000)
+        result = buf.flush(w)
+        assert result.commands_sent == 2
+        assert not result.blocked
+        assert buf.pending_commands() == 0
+
+    def test_flush_respects_srsf_order(self):
+        buf = ClientBuffer()
+        big = raw(Rect(0, 0, 64, 64), 1)
+        buf.add(big)
+        buf.add(SFillCommand(Rect(200, 0, 4, 4), RED))
+        w = FakeWriter(10**6)
+        buf.flush(w)
+        first = decode_command(w.chunks[0])
+        assert first.kind == "sfill"
+
+    def test_blocked_flush_stops_and_resumes(self):
+        buf = ClientBuffer()
+        buf.add(SFillCommand(Rect(0, 0, 4, 4), RED))
+        buf.add(raw(Rect(100, 100, 40, 40), 1))
+        w = FakeWriter(30)  # room for the fill only
+        result = buf.flush(w)
+        assert result.blocked
+        assert buf.pending_commands() >= 1
+        w2 = FakeWriter(10**6)
+        result2 = buf.flush(w2)
+        assert not result2.blocked
+        assert buf.pending_commands() == 0
+
+    def test_large_command_split_on_blockage(self):
+        buf = ClientBuffer()
+        cmd = raw(Rect(0, 0, 32, 32), 2)
+        full_size = cmd.wire_size()
+        buf.add(cmd)
+        w = FakeWriter(full_size // 2)
+        result = buf.flush(w)
+        assert result.blocked
+        assert result.commands_split == 1
+        assert result.bytes_written > 0
+        # Remainder was reformatted in place, not re-queued at the back.
+        assert buf.pending_commands() == 1
+        remainder = next(iter(buf.queue))
+        assert remainder.dest.height < 32
+
+    def test_split_then_complete_reassembles_pixels(self):
+        buf = ClientBuffer()
+        cmd = raw(Rect(0, 0, 16, 16), 3)
+        pixels = cmd.pixels.copy()
+        buf.add(cmd)
+        chunks = []
+        for room in [cmd.wire_size() // 3 + 20] * 6:
+            w = FakeWriter(room)
+            buf.flush(w)
+            chunks.extend(w.chunks)
+            if buf.pending_commands() == 0:
+                break
+        fb = Framebuffer(16, 16)
+        for chunk in chunks:
+            decode_command(chunk).apply(fb)
+        assert np.array_equal(fb.read_pixels(Rect(0, 0, 16, 16)), pixels)
+
+
+class TestEvictionThroughBuffer:
+    def test_overwritten_updates_never_sent(self):
+        buf = ClientBuffer()
+        for i in range(10):
+            buf.add(raw(Rect(0, 0, 16, 16), seed=i))
+        assert buf.pending_commands() == 1
+
+    def test_pending_bytes_tracks_queue(self):
+        buf = ClientBuffer()
+        cmd = SFillCommand(Rect(0, 0, 4, 4), RED)
+        buf.add(cmd)
+        assert buf.pending_bytes() == cmd.wire_size()
+
+
+class TestDependencies:
+    def test_transparent_floor_set(self):
+        buf = ClientBuffer()
+        buf.add(raw(Rect(0, 0, 64, 64), 1))  # large opaque base
+        glyph = BitmapCommand(Rect(4, 4, 5, 7), np.ones((7, 5), bool),
+                              RED, None)
+        buf.add(glyph)
+        assert glyph.sched_floor >= 1
+        assert buf.stats["floors_set"] == 1
+
+    def test_copy_depends_on_source_producer(self):
+        buf = ClientBuffer()
+        buf.add(raw(Rect(0, 0, 64, 64), 1))
+        cp = CopyCommand(0, 0, Rect(200, 200, 16, 16))
+        buf.add(cp)
+        assert cp.sched_floor >= 1
+
+    def test_independent_commands_have_no_floor(self):
+        buf = ClientBuffer()
+        buf.add(raw(Rect(0, 0, 16, 16), 1))
+        other = SFillCommand(Rect(100, 100, 4, 4), RED)
+        buf.add(other)
+        assert other.sched_floor == -1
+
+    def test_dependency_respected_in_flush_order(self):
+        buf = ClientBuffer()
+        base = raw(Rect(0, 0, 64, 64), 1)
+        buf.add(base)
+        glyph = BitmapCommand(Rect(4, 4, 5, 7), np.ones((7, 5), bool),
+                              RED, None)
+        buf.add(glyph)
+        w = FakeWriter(10**7)
+        buf.flush(w)
+        kinds = [decode_command(c).kind for c in w.chunks]
+        assert kinds.index("raw") < kinds.index("bitmap")
+
+
+class TestRealtime:
+    def test_update_near_recent_input_is_realtime(self):
+        buf = ClientBuffer()
+        buf.note_input(100, 100, time=1.0)
+        cmd = SFillCommand(Rect(96, 96, 10, 10), RED)
+        buf.add(cmd, now=1.1)
+        assert cmd.realtime
+
+    def test_far_update_is_not_realtime(self):
+        buf = ClientBuffer()
+        buf.note_input(100, 100, time=1.0)
+        cmd = SFillCommand(Rect(400, 400, 10, 10), RED)
+        buf.add(cmd, now=1.1)
+        assert not cmd.realtime
+
+    def test_stale_input_expires(self):
+        buf = ClientBuffer()
+        buf.note_input(100, 100, time=1.0)
+        cmd = SFillCommand(Rect(96, 96, 10, 10), RED)
+        buf.add(cmd, now=5.0)
+        assert not cmd.realtime
+
+    def test_dependent_command_not_promoted(self):
+        buf = ClientBuffer()
+        buf.note_input(10, 10, time=1.0)
+        buf.add(raw(Rect(0, 0, 64, 64), 1), now=1.0)
+        glyph = BitmapCommand(Rect(8, 8, 5, 7), np.ones((7, 5), bool),
+                              RED, None)
+        buf.add(glyph, now=1.0)
+        assert not glyph.realtime  # has a dependency; must not jump
+
+    def test_realtime_flushed_first(self):
+        buf = ClientBuffer()
+        buf.add(raw(Rect(200, 200, 30, 30), 1), now=0.0)
+        buf.note_input(10, 10, time=1.0)
+        button = SFillCommand(Rect(8, 8, 10, 10), RED)
+        buf.add(button, now=1.0)
+        w = FakeWriter(10**7)
+        buf.flush(w)
+        assert decode_command(w.chunks[0]).kind == "sfill"
+
+
+class ChunkWriter:
+    """A writer whose capacity arrives in random-sized chunks."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.room = 0
+        self.chunks = []
+
+    def refill(self):
+        self.room += int(self.rng.integers(16, 3000))
+
+    def writable_bytes(self):
+        return self.room
+
+    def write(self, data):
+        assert len(data) <= self.room
+        self.room -= len(data)
+        self.chunks.append(data)
+
+
+class TestDeliveryProperty:
+    """Random command streams + random flush capacities stay correct."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_flush_reordering_preserves_final_pixels(self, seed):
+        import numpy as np
+
+        from repro.display import Framebuffer
+
+        rng = np.random.default_rng(seed)
+        buf = ClientBuffer()
+        truth = Framebuffer(64, 48)
+        writer = ChunkWriter(rng)
+
+        def random_command():
+            kind = rng.integers(0, 4)
+            x, y = int(rng.integers(0, 48)), int(rng.integers(0, 32))
+            w, h = int(rng.integers(1, 16)), int(rng.integers(1, 16))
+            color = tuple(int(v) for v in rng.integers(0, 256, 3)) + (255,)
+            if kind == 0:
+                return SFillCommand(Rect(x, y, w, h), color)
+            if kind == 1:
+                return RawCommand(
+                    Rect(x, y, w, h),
+                    rng.integers(0, 256, (h, w, 4), dtype=np.uint8),
+                    compress=False)
+            if kind == 2:
+                mask = rng.integers(0, 2, (h, w)).astype(bool)
+                return BitmapCommand(Rect(x, y, w, h), mask, color, None)
+            return CopyCommand(int(rng.integers(0, 16)),
+                               int(rng.integers(0, 16)), Rect(x, y, w, h))
+
+        client_fb = Framebuffer(64, 48)
+        for _ in range(25):
+            cmd = random_command()
+            cmd.apply(truth)
+            buf.add(cmd, now=0.0)
+            # Interleave partial flushes with tiny capacities.
+            if rng.random() < 0.5:
+                writer.refill()
+                buf.flush(writer)
+        # Drain everything.
+        for _ in range(300):
+            if buf.pending_commands() == 0:
+                break
+            writer.refill()
+            buf.flush(writer)
+        assert buf.pending_commands() == 0
+        for chunk in writer.chunks:
+            decode_command(chunk).apply(client_fb)
+        assert client_fb.same_as(truth)

@@ -1,0 +1,226 @@
+"""Tests for the THINC translation layer (virtual display driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.translation import THINCDriver
+from repro.display import WindowServer, solid_pixels
+from repro.display.driver import InputEvent
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+GREEN = (0, 255, 0, 255)
+BLUE = (0, 0, 255, 255)
+WHITE = (255, 255, 255, 255)
+
+
+class CollectingSink:
+    """An UpdateSink that records everything submitted."""
+
+    def __init__(self):
+        self.commands = []
+        self.video_events = []
+        self.inputs = []
+
+    def submit(self, command):
+        self.commands.append(command)
+
+    def video_setup(self, stream):
+        self.video_events.append(("setup", stream.stream_id))
+
+    def video_move(self, stream):
+        self.video_events.append(("move", stream.stream_id))
+
+    def video_teardown(self, stream):
+        self.video_events.append(("teardown", stream.stream_id))
+
+    def note_input(self, event):
+        self.inputs.append(event)
+
+    def kinds(self):
+        return [c.kind for c in self.commands]
+
+
+@pytest.fixture
+def rig():
+    sink = CollectingSink()
+    driver = THINCDriver(sink, compress_raw=False)
+    ws = WindowServer(64, 48, driver=driver)
+    return ws, driver, sink
+
+
+class TestOneToOneMapping:
+    """Section 4: translation is usually a direct mapping."""
+
+    def test_fill_becomes_sfill(self, rig):
+        ws, driver, sink = rig
+        ws.fill_rect(ws.screen, Rect(0, 0, 8, 8), RED)
+        assert sink.kinds() == ["sfill"]
+
+    def test_tile_becomes_pfill(self, rig):
+        ws, driver, sink = rig
+        tile = solid_pixels(4, 4, GREEN)
+        ws.fill_tiled(ws.screen, Rect(0, 0, 16, 16), tile)
+        assert sink.kinds() == ["pfill"]
+
+    def test_text_becomes_bitmaps(self, rig):
+        ws, driver, sink = rig
+        ws.draw_text(ws.screen, 2, 2, "ab", RED)
+        assert set(sink.kinds()) == {"bitmap"}
+        assert all(c.bg is None for c in sink.commands)
+
+    def test_image_becomes_raw(self, rig):
+        ws, driver, sink = rig
+        ws.put_image(ws.screen, Rect(0, 0, 16, 16),
+                     solid_pixels(16, 16, BLUE))
+        assert set(sink.kinds()) == {"raw"}
+
+    def test_screen_copy_becomes_copy(self, rig):
+        ws, driver, sink = rig
+        ws.fill_rect(ws.screen, Rect(0, 0, 8, 8), RED)
+        ws.copy_area(ws.screen, ws.screen, Rect(0, 0, 8, 8), 20, 20)
+        assert sink.kinds() == ["sfill", "copy"]
+        assert sink.commands[1].dest == Rect(20, 20, 8, 8)
+
+    def test_composite_over_becomes_composite(self, rig):
+        ws, driver, sink = rig
+        ws.composite(ws.screen, Rect(0, 0, 4, 4),
+                     solid_pixels(4, 4, (255, 0, 0, 128)))
+        assert sink.kinds() == ["composite"]
+
+    def test_exotic_composite_falls_back_to_raw(self, rig):
+        ws, driver, sink = rig
+        ws.composite(ws.screen, Rect(0, 0, 4, 4),
+                     solid_pixels(4, 4, (255, 0, 0, 128)), operator="plus")
+        assert sink.kinds() == ["raw"]
+
+
+class TestOffscreenAwareness:
+    """Section 4.1: semantic tracking of offscreen drawing."""
+
+    def test_offscreen_drawing_sends_nothing(self, rig):
+        ws, driver, sink = rig
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 32, 32), RED)
+        ws.draw_text(pm, 2, 2, "hi", BLUE)
+        assert sink.commands == []
+        assert driver.stats["offscreen_commands"] > 0
+
+    def test_copy_out_replays_semantic_commands(self, rig):
+        ws, driver, sink = rig
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 32, 32), RED)
+        ws.draw_text(pm, 2, 2, "hi", BLUE)
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 32), 4, 4)
+        kinds = set(sink.kinds())
+        assert "sfill" in kinds and "bitmap" in kinds
+        assert "raw" not in kinds  # no pixel fallback needed
+        assert driver.stats["raw_fallbacks"] == 0
+
+    def test_uncovered_offscreen_content_ships_as_raw(self, rig):
+        ws, driver, sink = rig
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 16, 32), RED)  # half described
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 32), 0, 0)
+        kinds = sink.kinds()
+        assert "sfill" in kinds and "raw" in kinds
+        assert driver.stats["raw_fallbacks"] == 1
+
+    def test_offscreen_hierarchy_copies_commands(self, rig):
+        """Pixmap-to-pixmap copies move semantics between queues."""
+        ws, driver, sink = rig
+        small = ws.create_pixmap(16, 16)
+        big = ws.create_pixmap(32, 32)
+        ws.fill_rect(small, Rect(0, 0, 16, 16), GREEN)
+        ws.fill_rect(big, Rect(0, 0, 32, 32), WHITE)
+        ws.copy_area(small, big, Rect(0, 0, 16, 16), 8, 8)
+        ws.copy_area(big, ws.screen, Rect(0, 0, 32, 32), 0, 0)
+        assert "raw" not in sink.kinds()
+        # Source queue is intact: copy again elsewhere.
+        ws.copy_area(big, ws.screen, Rect(0, 0, 32, 32), 32, 16)
+        assert "raw" not in sink.kinds()
+
+    def test_screen_to_pixmap_snapshots_pixels(self, rig):
+        ws, driver, sink = rig
+        ws.fill_rect(ws.screen, Rect(0, 0, 16, 16), RED)
+        pm = ws.create_pixmap(16, 16)
+        ws.copy_area(ws.screen, pm, Rect(0, 0, 16, 16), 0, 0)
+        queue = driver.offscreen_queue(pm)
+        assert queue is not None
+        assert [c.kind for c in queue] == ["raw"]
+
+    def test_destroy_drops_queue(self, rig):
+        ws, driver, sink = rig
+        pm = ws.create_pixmap(16, 16)
+        ws.fill_rect(pm, Rect(0, 0, 4, 4), RED)
+        assert driver.offscreen_queue(pm) is not None
+        ws.free_pixmap(pm)
+        assert driver.offscreen_queue(pm) is None
+
+    def test_replay_pixel_exact_through_sink(self, rig):
+        """Applying the sunk commands reproduces the server screen."""
+        from repro.display import Framebuffer
+
+        ws, driver, sink = rig
+        pm = ws.create_pixmap(32, 24)
+        ws.fill_rect(pm, Rect(0, 0, 32, 24), (10, 20, 30, 255))
+        ws.put_image(pm, Rect(4, 4, 8, 8), solid_pixels(8, 8, GREEN))
+        ws.draw_text(pm, 2, 14, "xyz", WHITE)
+        ws.fill_rect(ws.screen, ws.screen.bounds, (0, 0, 0, 255))
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 24), 10, 10)
+        fb = Framebuffer(64, 48)
+        fb.fill_rect(fb.bounds, (0, 0, 0, 255))
+        for cmd in sink.commands:
+            cmd.apply(fb)
+        assert fb.same_as(ws.screen.fb)
+
+
+class TestOffscreenAblation:
+    def test_disabled_awareness_ships_raw_pixels(self):
+        sink = CollectingSink()
+        driver = THINCDriver(sink, compress_raw=False,
+                             offscreen_awareness=False)
+        ws = WindowServer(64, 48, driver=driver)
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 32, 32), RED)
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 32), 0, 0)
+        assert sink.kinds() == ["raw"]
+        assert driver.stats["raw_fallbacks"] == 1
+
+    def test_disabled_awareness_still_pixel_correct(self):
+        from repro.display import Framebuffer
+
+        sink = CollectingSink()
+        driver = THINCDriver(sink, compress_raw=False,
+                             offscreen_awareness=False)
+        ws = WindowServer(64, 48, driver=driver)
+        pm = ws.create_pixmap(32, 32)
+        ws.fill_rect(pm, Rect(0, 0, 32, 32), RED)
+        ws.draw_text(pm, 2, 2, "ok", BLUE)
+        ws.copy_area(pm, ws.screen, Rect(0, 0, 32, 32), 0, 0)
+        fb = Framebuffer(64, 48)
+        for cmd in sink.commands:
+            cmd.apply(fb)
+        block = Rect(0, 0, 32, 32)
+        assert np.array_equal(fb.read_pixels(block),
+                              ws.screen.fb.read_pixels(block))
+
+
+class TestVideoAndInput:
+    def test_video_lifecycle_reaches_sink(self, rig):
+        from repro.video import yuv
+
+        ws, driver, sink = rig
+        stream = ws.video_create_stream("YV12", 16, 12, Rect(0, 0, 32, 24))
+        rgb = np.zeros((12, 16, 3), dtype=np.uint8)
+        ws.video_put_frame(stream, yuv.pack_yv12(*yuv.rgb_to_yv12(rgb)))
+        ws.video_destroy_stream(stream)
+        assert ("setup", stream.stream_id) in sink.video_events
+        assert ("teardown", stream.stream_id) in sink.video_events
+        assert sink.kinds() == ["vframe"]
+        assert sink.commands[0].frame_no == 1
+
+    def test_input_forwarded(self, rig):
+        ws, driver, sink = rig
+        ws.inject_input(InputEvent("mouse-click", 5, 5, 0.1))
+        assert len(sink.inputs) == 1

@@ -1,0 +1,118 @@
+"""Tests for GC clip regions on the window server."""
+
+import numpy as np
+import pytest
+
+from repro.display import RecordingDriver, WindowServer, solid_pixels
+from repro.region import Rect, Region
+
+RED = (255, 0, 0, 255)
+BLUE = (0, 0, 255, 255)
+BLACK = (0, 0, 0, 255)
+
+
+@pytest.fixture
+def rig():
+    driver = RecordingDriver()
+    ws = WindowServer(64, 48, driver=driver)
+    return ws, driver
+
+
+class TestClipBasics:
+    def test_fill_clipped_to_region(self, rig):
+        ws, driver = rig
+        ws.set_clip(Rect(10, 10, 10, 10))
+        ws.fill_rect(ws.screen, Rect(0, 0, 64, 48), RED)
+        assert tuple(ws.screen.fb.data[15, 15]) == RED
+        assert tuple(ws.screen.fb.data[5, 5]) != RED
+        ws.set_clip(None)
+        ws.fill_rect(ws.screen, Rect(0, 0, 4, 4), BLUE)
+        assert tuple(ws.screen.fb.data[1, 1]) == BLUE
+
+    def test_multi_rect_clip_fragments_driver_calls(self, rig):
+        ws, driver = rig
+        ws.set_clip(Region([Rect(0, 0, 10, 48), Rect(30, 0, 10, 48)]))
+        ws.fill_rect(ws.screen, Rect(0, 0, 64, 48), RED)
+        fills = [c for c in driver.calls if c.name == "solid_fill"]
+        assert len(fills) == 2
+        assert tuple(ws.screen.fb.data[0, 5]) == RED
+        assert tuple(ws.screen.fb.data[0, 20]) != RED
+        assert tuple(ws.screen.fb.data[0, 35]) == RED
+
+    def test_clip_context_manager_restores(self, rig):
+        ws, driver = rig
+        with ws.clip(Rect(0, 0, 8, 8)):
+            ws.fill_rect(ws.screen, Rect(0, 0, 64, 48), RED)
+        ws.fill_rect(ws.screen, Rect(20, 20, 4, 4), BLUE)
+        assert tuple(ws.screen.fb.data[21, 21]) == BLUE  # unclipped again
+
+    def test_nested_clip_contexts(self, rig):
+        ws, driver = rig
+        with ws.clip(Rect(0, 0, 32, 48)):
+            with ws.clip(Rect(0, 0, 8, 8)):
+                ws.fill_rect(ws.screen, ws.screen.bounds, RED)
+            # Back to the outer clip.
+            ws.fill_rect(ws.screen, Rect(0, 40, 64, 8), BLUE)
+        assert tuple(ws.screen.fb.data[4, 4]) == RED
+        assert tuple(ws.screen.fb.data[44, 4]) == BLUE
+        assert tuple(ws.screen.fb.data[44, 40]) != BLUE  # outside outer
+
+    def test_invalid_clip_type_rejected(self, rig):
+        ws, driver = rig
+        with pytest.raises(TypeError):
+            ws.set_clip("everything")
+
+
+class TestClippedOps:
+    def test_text_clipped_mid_glyph(self, rig):
+        ws, driver = rig
+        with ws.clip(Rect(0, 0, 8, 48)):
+            ws.draw_text(ws.screen, 0, 0, "HH", RED)
+        # First glyph drawn, second mostly clipped away.
+        assert ws.screen.fb.data[: 7, :8, 0].any()
+        assert not ws.screen.fb.data[:7, 9:, 0].any()
+
+    def test_image_clipped(self, rig):
+        ws, driver = rig
+        with ws.clip(Rect(4, 4, 8, 8)):
+            ws.put_image(ws.screen, Rect(0, 0, 16, 16),
+                         solid_pixels(16, 16, BLUE))
+        assert tuple(ws.screen.fb.data[6, 6]) == BLUE
+        assert tuple(ws.screen.fb.data[1, 1]) != BLUE
+
+    def test_tiled_clipped_keeps_phase(self, rig):
+        ws, driver = rig
+        tile = solid_pixels(4, 4, BLACK)
+        tile[0, 0] = RED
+        # Unclipped reference.
+        reference = WindowServer(64, 48)
+        reference.fill_tiled(reference.screen, Rect(0, 0, 32, 32), tile)
+        with ws.clip(Rect(8, 8, 16, 16)):
+            ws.fill_tiled(ws.screen, Rect(0, 0, 32, 32), tile)
+        block = Rect(8, 8, 16, 16)
+        assert np.array_equal(ws.screen.fb.read_pixels(block),
+                              reference.screen.fb.read_pixels(block))
+
+
+class TestClipThroughTHINC:
+    def test_expose_style_redraw_pixel_exact(self):
+        from repro.core import THINCClient, THINCServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        conn = Connection(loop, LAN_DESKTOP)
+        server = THINCServer(loop, 64, 48)
+        ws = WindowServer(64, 48, driver=server.driver, clock=loop.clock)
+        server.attach_client(conn)
+        client = THINCClient(loop, conn)
+
+        ws.fill_rect(ws.screen, ws.screen.bounds, (200, 200, 200, 255))
+        # An expose handler repaints through a two-part exposed region.
+        exposed = Region([Rect(0, 0, 20, 48), Rect(40, 0, 24, 48)])
+        with ws.clip(exposed):
+            ws.fill_rect(ws.screen, ws.screen.bounds, BLUE)
+            ws.draw_text(ws.screen, 2, 2, "exposed area redraw", RED)
+            ws.put_image(ws.screen, Rect(10, 20, 30, 10),
+                         solid_pixels(30, 10, BLACK))
+        loop.run_until_idle(max_time=5)
+        assert client.fb.same_as(ws.screen.fb)

@@ -1,0 +1,95 @@
+"""Tests for Porter-Duff compositing operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.display.compositing import (OPERATORS, apply_operator, atop, in_,
+                                       out, over, plus, xor)
+
+
+def px(r, g, b, a):
+    return np.array([[[r, g, b, a]]], dtype=np.uint8)
+
+
+rgba = st.tuples(*[st.integers(0, 255)] * 4)
+images = rgba.map(lambda t: px(*t))
+
+OPAQUE_RED = px(255, 0, 0, 255)
+OPAQUE_BLUE = px(0, 0, 255, 255)
+CLEAR = px(0, 0, 0, 0)
+
+
+class TestOver:
+    def test_opaque_src_wins(self):
+        result = over(OPAQUE_RED, OPAQUE_BLUE)
+        assert tuple(result[0, 0]) == (255, 0, 0, 255)
+
+    def test_clear_src_leaves_dst(self):
+        result = over(CLEAR, OPAQUE_BLUE)
+        assert tuple(result[0, 0]) == (0, 0, 255, 255)
+
+    def test_half_blend(self):
+        result = over(px(255, 255, 255, 128), px(0, 0, 0, 255))
+        assert 120 <= result[0, 0, 0] <= 136
+        assert result[0, 0, 3] == 255
+
+    @given(images, images)
+    @settings(max_examples=80, deadline=None)
+    def test_output_alpha_at_least_dst_when_dst_opaque(self, src, dst):
+        dst = dst.copy()
+        dst[..., 3] = 255
+        assert over(src, dst)[0, 0, 3] == 255
+
+    @given(images)
+    @settings(max_examples=60, deadline=None)
+    def test_over_clear_dst_is_src(self, src):
+        result = over(src, CLEAR)
+        # Straight-alpha round trip loses colour where alpha is 0.
+        if src[0, 0, 3] > 0:
+            assert np.all(np.abs(result[..., :3].astype(int)
+                                 - src[..., :3].astype(int)) <= 1)
+        assert result[0, 0, 3] == src[0, 0, 3]
+
+
+class TestOtherOperators:
+    def test_in_masks_by_dst_alpha(self):
+        assert in_(OPAQUE_RED, CLEAR)[0, 0, 3] == 0
+        assert in_(OPAQUE_RED, OPAQUE_BLUE)[0, 0, 3] == 255
+
+    def test_out_is_complement_of_in(self):
+        assert out(OPAQUE_RED, CLEAR)[0, 0, 3] == 255
+        assert out(OPAQUE_RED, OPAQUE_BLUE)[0, 0, 3] == 0
+
+    def test_atop_keeps_dst_alpha(self):
+        result = atop(px(255, 0, 0, 255), px(0, 0, 255, 200))
+        assert result[0, 0, 3] == 200
+
+    def test_xor_opaque_pair_cancels(self):
+        assert xor(OPAQUE_RED, OPAQUE_BLUE)[0, 0, 3] == 0
+
+    def test_plus_saturates(self):
+        result = plus(px(200, 0, 0, 255), px(200, 0, 0, 255))
+        assert result[0, 0, 0] == 255
+        assert result[0, 0, 3] == 255
+
+
+class TestDispatch:
+    def test_all_registered(self):
+        assert set(OPERATORS) == {"over", "in", "out", "atop", "xor", "plus"}
+
+    def test_apply_operator(self):
+        result = apply_operator("over", OPAQUE_RED, OPAQUE_BLUE)
+        assert tuple(result[0, 0]) == (255, 0, 0, 255)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            apply_operator("bogus", OPAQUE_RED, OPAQUE_BLUE)
+
+    @given(images, images, st.sampled_from(sorted(OPERATORS)))
+    @settings(max_examples=80, deadline=None)
+    def test_outputs_are_valid_rgba(self, src, dst, name):
+        result = apply_operator(name, src, dst)
+        assert result.dtype == np.uint8
+        assert result.shape == src.shape

@@ -1,0 +1,195 @@
+"""Tests for the framebuffer raster operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.display import Framebuffer, solid_pixels
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+GREEN = (0, 255, 0, 255)
+BLUE = (0, 0, 255, 255)
+BLACK = (0, 0, 0, 255)
+
+
+@pytest.fixture
+def fb():
+    return Framebuffer(32, 24)
+
+
+class TestConstruction:
+    def test_initial_fill(self):
+        fb = Framebuffer(8, 4, fill=RED)
+        assert np.all(fb.data == np.array(RED, dtype=np.uint8))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 5)
+        with pytest.raises(ValueError):
+            Framebuffer(5, -1)
+
+
+class TestFill:
+    def test_fill_rect(self, fb):
+        fb.fill_rect(Rect(2, 2, 4, 3), RED)
+        assert tuple(fb.data[2, 2]) == RED
+        assert tuple(fb.data[4, 5]) == RED
+        assert tuple(fb.data[2, 6]) == BLACK
+        assert tuple(fb.data[5, 2]) == BLACK
+
+    def test_fill_clips_to_bounds(self, fb):
+        drawn = fb.fill_rect(Rect(-4, -4, 10, 10), GREEN)
+        assert drawn == Rect(0, 0, 6, 6)
+        assert tuple(fb.data[0, 0]) == GREEN
+
+    def test_fill_fully_outside(self, fb):
+        drawn = fb.fill_rect(Rect(100, 100, 5, 5), GREEN)
+        assert drawn.empty
+        assert fb.pixels_drawn == 0
+
+
+class TestTile:
+    def test_tile_repeats_pattern(self, fb):
+        tile = np.zeros((2, 2, 4), dtype=np.uint8)
+        tile[0, 0] = RED
+        tile[0, 1] = GREEN
+        tile[1, 0] = BLUE
+        tile[1, 1] = (9, 9, 9, 255)
+        fb.tile_rect(Rect(0, 0, 6, 6), tile)
+        assert tuple(fb.data[0, 0]) == RED
+        assert tuple(fb.data[0, 2]) == RED
+        assert tuple(fb.data[2, 4]) == RED
+        assert tuple(fb.data[1, 1]) == (9, 9, 9, 255)
+
+    def test_tile_origin_offset(self, fb):
+        tile = np.zeros((2, 2, 4), dtype=np.uint8)
+        tile[0, 0] = RED
+        fb.tile_rect(Rect(0, 0, 4, 4), tile, origin=(1, 1))
+        # With origin (1,1), tile pixel (0,0) lands at fb (1,1).
+        assert tuple(fb.data[1, 1]) == RED
+        assert tuple(fb.data[0, 0]) != RED
+
+    def test_tile_validates_shape(self, fb):
+        with pytest.raises(ValueError):
+            fb.tile_rect(Rect(0, 0, 4, 4), np.zeros((2, 2, 3), np.uint8))
+        with pytest.raises(ValueError):
+            fb.tile_rect(Rect(0, 0, 4, 4), np.zeros((0, 2, 4), np.uint8))
+
+
+class TestStipple:
+    def test_opaque_stipple(self, fb):
+        mask = np.array([[1, 0], [0, 1]], dtype=bool)
+        fb.stipple_rect(Rect(0, 0, 2, 2), mask, RED, GREEN)
+        assert tuple(fb.data[0, 0]) == RED
+        assert tuple(fb.data[0, 1]) == GREEN
+        assert tuple(fb.data[1, 1]) == RED
+
+    def test_transparent_stipple_leaves_zeros(self, fb):
+        fb.fill_rect(fb.bounds, BLUE)
+        mask = np.array([[1, 0]], dtype=bool)
+        fb.stipple_rect(Rect(0, 0, 2, 1), mask, RED, None)
+        assert tuple(fb.data[0, 0]) == RED
+        assert tuple(fb.data[0, 1]) == BLUE
+
+    def test_stipple_tiles_small_masks(self, fb):
+        mask = np.array([[1]], dtype=bool)
+        drawn = fb.stipple_rect(Rect(0, 0, 4, 4), mask, RED, None)
+        assert drawn.area == 16
+        assert np.all(fb.data[:4, :4, 0] == 255)
+
+    def test_rejects_non_2d_mask(self, fb):
+        with pytest.raises(ValueError):
+            fb.stipple_rect(Rect(0, 0, 2, 2),
+                            np.zeros((2, 2, 2), bool), RED, None)
+
+
+class TestPutAndCopy:
+    def test_put_pixels_roundtrip(self, fb):
+        block = solid_pixels(4, 4, GREEN)
+        fb.put_pixels(Rect(3, 3, 4, 4), block)
+        assert np.array_equal(fb.read_pixels(Rect(3, 3, 4, 4)), block)
+
+    def test_put_pixels_shape_check(self, fb):
+        with pytest.raises(ValueError):
+            fb.put_pixels(Rect(0, 0, 4, 4), solid_pixels(3, 4, GREEN))
+
+    def test_put_pixels_clips_off_edge(self, fb):
+        block = solid_pixels(4, 4, GREEN)
+        drawn = fb.put_pixels(Rect(30, 22, 4, 4), block)
+        assert drawn == Rect(30, 22, 2, 2)
+        assert tuple(fb.data[23, 31]) == GREEN
+
+    def test_copy_area(self, fb):
+        fb.fill_rect(Rect(0, 0, 4, 4), RED)
+        fb.copy_area(Rect(0, 0, 4, 4), 10, 10)
+        assert np.array_equal(fb.read_pixels(Rect(10, 10, 4, 4)),
+                              solid_pixels(4, 4, RED))
+
+    def test_copy_area_overlapping_is_safe(self, fb):
+        # Paint a gradient and shift it right by 1 over itself (scroll).
+        for x in range(8):
+            fb.fill_rect(Rect(x, 0, 1, 4), (x * 10, 0, 0, 255))
+        fb.copy_area(Rect(0, 0, 7, 4), 1, 0)
+        for x in range(1, 8):
+            assert fb.data[0, x, 0] == (x - 1) * 10
+
+    def test_copy_area_clips_source_and_dest_consistently(self, fb):
+        fb.fill_rect(Rect(0, 0, 32, 24), RED)
+        fb.fill_rect(Rect(0, 0, 2, 2), GREEN)
+        # Source hangs off the top-left; destination shifts in step.
+        drawn = fb.copy_area(Rect(-2, -2, 6, 6), 10, 10)
+        assert drawn == Rect(12, 12, 4, 4)
+        assert tuple(fb.data[12, 12]) == GREEN
+
+
+class TestComposite:
+    def test_opaque_composite_replaces(self, fb):
+        fb.fill_rect(fb.bounds, BLUE)
+        fb.composite(Rect(0, 0, 2, 2), solid_pixels(2, 2, RED))
+        assert tuple(fb.data[0, 0]) == RED
+
+    def test_half_alpha_blends(self, fb):
+        fb.fill_rect(fb.bounds, (0, 0, 0, 255))
+        fb.composite(Rect(0, 0, 1, 1), solid_pixels(1, 1, (255, 255, 255, 128)))
+        value = int(fb.data[0, 0, 0])
+        assert 120 <= value <= 136  # ~50% grey
+
+    def test_zero_alpha_is_noop_visually(self, fb):
+        fb.fill_rect(fb.bounds, BLUE)
+        fb.composite(Rect(0, 0, 2, 2), solid_pixels(2, 2, (255, 0, 0, 0)))
+        assert tuple(fb.data[0, 0])[:3] == BLUE[:3]
+
+
+class TestComparison:
+    def test_same_as_and_diff_area(self):
+        a = Framebuffer(8, 8)
+        b = Framebuffer(8, 8)
+        assert a.same_as(b)
+        assert a.diff_area(b) == 0
+        b.fill_rect(Rect(0, 0, 2, 2), RED)
+        assert not a.same_as(b)
+        assert a.diff_area(b) == 4
+
+    def test_diff_area_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Framebuffer(4, 4).diff_area(Framebuffer(5, 4))
+
+    def test_checksum_changes_with_content(self):
+        fb = Framebuffer(8, 8)
+        before = fb.checksum()
+        fb.fill_rect(Rect(0, 0, 1, 1), RED)
+        assert fb.checksum() != before
+
+
+class TestPixelAccounting:
+    @given(st.integers(-8, 40), st.integers(-8, 40),
+           st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_pixels_drawn_matches_clip(self, x, y, w, h):
+        fb = Framebuffer(32, 24)
+        rect = Rect(x, y, w, h)
+        drawn = fb.fill_rect(rect, RED)
+        assert fb.pixels_drawn == drawn.area
+        assert drawn == rect.intersect(fb.bounds)

@@ -1,0 +1,158 @@
+"""Tests for line rasterisation and the line drawing API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.display import WindowServer
+from repro.display.lines import (line_spans, polyline_spans,
+                                 rect_outline_spans)
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+coords = st.integers(0, 40)
+
+
+def span_pixels(spans):
+    pts = set()
+    for span in spans:
+        pts.update(span.pixels())
+    return pts
+
+
+class TestLineSpans:
+    def test_horizontal_is_one_span(self):
+        spans = line_spans(2, 5, 12, 5)
+        assert spans == [Rect(2, 5, 11, 1)]
+
+    def test_vertical_is_one_span(self):
+        spans = line_spans(5, 2, 5, 12)
+        assert spans == [Rect(5, 2, 1, 11)]
+
+    def test_reversed_endpoints_equivalent(self):
+        assert span_pixels(line_spans(2, 5, 12, 9)) == \
+            span_pixels(line_spans(12, 9, 2, 5))
+
+    def test_diagonal_covers_endpoints(self):
+        pts = span_pixels(line_spans(0, 0, 10, 7))
+        assert (0, 0) in pts and (10, 7) in pts
+
+    def test_perfect_diagonal_one_pixel_per_row(self):
+        pts = span_pixels(line_spans(0, 0, 7, 7))
+        assert len(pts) == 8
+        assert pts == {(i, i) for i in range(8)}
+
+    def test_shallow_line_is_connected(self):
+        """Each row's span must touch or overlap the next row's span."""
+        spans = line_spans(0, 0, 20, 4)
+        rows = sorted(spans, key=lambda s: s.y)
+        for a, b in zip(rows, rows[1:]):
+            assert b.y == a.y + 1
+            assert a.x <= b.x2 and b.x <= a.x2 + 1
+
+    def test_stroke_width(self):
+        spans = line_spans(0, 5, 10, 5, width=3)
+        assert spans == [Rect(0, 5, 11, 3)]
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            line_spans(0, 0, 5, 5, width=0)
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_pixels_form_connected_path(self, x0, y0, x1, y1):
+        pts = span_pixels(line_spans(x0, y0, x1, y1))
+        assert (x0, y0) in pts and (x1, y1) in pts
+        # 8-connectivity: from any pixel there is a neighbour, unless
+        # the line is a single point.
+        if len(pts) > 1:
+            for (px, py) in pts:
+                assert any((px + dx, py + dy) in pts
+                           for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+                           if (dx, dy) != (0, 0))
+
+
+class TestOutlineAndPolyline:
+    def test_outline_covers_border_only(self):
+        spans = rect_outline_spans(Rect(2, 2, 10, 8))
+        pts = span_pixels(spans)
+        assert (2, 2) in pts and (11, 9) in pts
+        assert (5, 5) not in pts  # interior untouched
+        # Spans are disjoint.
+        assert sum(s.area for s in spans) == len(pts)
+
+    def test_outline_empty_rect(self):
+        assert rect_outline_spans(Rect(0, 0, 0, 0)) == []
+
+    def test_polyline_shares_vertices(self):
+        pts = span_pixels(polyline_spans([(0, 0), (10, 0), (10, 10)]))
+        assert (10, 0) in pts and (0, 0) in pts and (10, 10) in pts
+
+    def test_polyline_needs_two_points(self):
+        with pytest.raises(ValueError):
+            polyline_spans([(0, 0)])
+
+
+class TestServerAPI:
+    def test_draw_line_renders_and_reaches_driver(self):
+        from repro.display import RecordingDriver
+
+        driver = RecordingDriver()
+        ws = WindowServer(64, 48, driver=driver)
+        ws.draw_line(ws.screen, 2, 2, 20, 2, RED)
+        assert tuple(ws.screen.fb.data[2, 10]) == RED
+        assert "solid_fill" in driver.names()
+
+    def test_draw_line_through_thinc_pixel_exact(self):
+        from repro.core import THINCClient, THINCServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        conn = Connection(loop, LAN_DESKTOP)
+        server = THINCServer(loop, 64, 48)
+        ws = WindowServer(64, 48, driver=server.driver, clock=loop.clock)
+        server.attach_client(conn)
+        from repro.core import THINCClient as _C
+
+        client = _C(loop, conn)
+        ws.draw_line(ws.screen, 1, 1, 50, 30, RED)
+        ws.draw_polyline(ws.screen, [(5, 40), (20, 20), (40, 44)],
+                         (0, 255, 0, 255))
+        ws.draw_rect_outline(ws.screen, Rect(10, 10, 30, 20),
+                             (0, 0, 255, 255), width=2)
+        loop.run_until_idle(max_time=5)
+        assert client.fb.same_as(ws.screen.fb)
+
+    def test_diagonal_spans_stay_compact_on_wire(self):
+        """A diagonal produces SFILLs the queue merges or keeps tiny."""
+        from repro.core import CommandQueue
+        from repro.core.translation import THINCDriver
+
+        class Sink:
+            def __init__(self):
+                self.queue = CommandQueue()
+
+            def submit(self, c):
+                self.queue.add(c)
+
+            def cursor_set(self, *a):
+                pass
+
+            def video_setup(self, *a):
+                pass
+
+            def video_move(self, *a):
+                pass
+
+            def video_teardown(self, *a):
+                pass
+
+            def note_input(self, *a):
+                pass
+
+        sink = Sink()
+        ws = WindowServer(256, 256, driver=THINCDriver(sink))
+        ws.draw_line(ws.screen, 0, 0, 255, 255, RED)
+        total = sum(c.wire_size() for c in sink.queue)
+        assert total < 256 * 16  # far below raw pixels

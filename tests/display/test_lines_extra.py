@@ -1,0 +1,76 @@
+"""Additional line-drawing coverage: widths, clips, polylines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.display import WindowServer
+from repro.display.lines import line_spans, polyline_spans
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+GREEN = (0, 255, 0, 255)
+
+
+class TestStrokeWidths:
+    @given(st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_wide_horizontal_line_area(self, width):
+        spans = line_spans(0, 10, 19, 10, width=width)
+        assert sum(s.area for s in spans) == 20 * width
+
+    def test_wide_diagonal_thickens_every_run(self):
+        for span in line_spans(0, 0, 20, 10, width=3):
+            assert span.height == 3
+
+
+class TestPolylineShapes:
+    def test_closed_shape(self):
+        pts = [(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)]
+        spans = polyline_spans(pts)
+        covered = set()
+        for s in spans:
+            covered.update(s.pixels())
+        # All four corners present.
+        for corner in [(0, 0), (10, 0), (10, 10), (0, 10)]:
+            assert corner in covered
+        # Interior untouched.
+        assert (5, 5) not in covered
+
+    def test_zigzag_connected(self):
+        pts = [(0, 0), (8, 6), (16, 0), (24, 6)]
+        covered = set()
+        for s in polyline_spans(pts):
+            covered.update(s.pixels())
+        for p in pts:
+            assert p in covered
+
+
+class TestLinesUnderClip:
+    def test_line_respects_clip_region(self):
+        ws = WindowServer(64, 32)
+        with ws.clip(Rect(0, 0, 20, 32)):
+            ws.draw_line(ws.screen, 0, 5, 63, 5, RED)
+        assert tuple(ws.screen.fb.data[5, 10]) == RED
+        assert tuple(ws.screen.fb.data[5, 30]) != RED
+
+    def test_polyline_chart_through_thinc(self):
+        """A line chart (the 'scientific instrumentation' use case)
+        survives the wire pixel-exactly."""
+        from repro.core import THINCClient, THINCServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        conn = Connection(loop, LAN_DESKTOP)
+        server = THINCServer(loop, 128, 64)
+        ws = WindowServer(128, 64, driver=server.driver, clock=loop.clock)
+        server.attach_client(conn)
+        client = THINCClient(loop, conn)
+        ws.fill_rect(ws.screen, ws.screen.bounds, (255, 255, 255, 255))
+        ws.draw_rect_outline(ws.screen, Rect(4, 4, 120, 56),
+                             (0, 0, 0, 255))
+        series = [(8 + i * 8, 40 - (i * 13) % 28) for i in range(14)]
+        ws.draw_polyline(ws.screen, series, (200, 30, 30, 255))
+        loop.run_until_idle(max_time=5)
+        assert client.fb.same_as(ws.screen.fb)

@@ -1,0 +1,107 @@
+"""Tests for anti-aliased text (the alpha-channel use case)."""
+
+import numpy as np
+import pytest
+
+from repro.display import RecordingDriver, WindowServer
+from repro.display.font import glyph_bitmap, glyph_coverage
+from repro.region import Rect
+
+BLACK = (0, 0, 0, 255)
+WHITE = (255, 255, 255, 255)
+
+
+class TestGlyphCoverage:
+    def test_range_and_shape(self):
+        coverage = glyph_coverage("A")
+        assert coverage.shape == glyph_bitmap("A").shape
+        assert coverage.min() >= 0.0 and coverage.max() <= 1.0
+
+    def test_intermediate_values_exist(self):
+        coverage = glyph_coverage("A")
+        interior = coverage[(coverage > 0.05) & (coverage < 0.95)]
+        assert interior.size > 0  # actual anti-aliasing happened
+
+    def test_scale_one_is_the_bitmap(self):
+        assert np.array_equal(glyph_coverage("A", scale=1),
+                              glyph_bitmap("A").astype(float))
+
+    def test_cached_and_readonly(self):
+        a = glyph_coverage("B")
+        b = glyph_coverage("B")
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            glyph_coverage("A", scale=0)
+
+
+class TestDrawTextAA:
+    def test_renders_grey_ramps(self):
+        ws = WindowServer(64, 32)
+        ws.fill_rect(ws.screen, ws.screen.bounds, WHITE)
+        ws.draw_text_aa(ws.screen, 2, 2, "AB", BLACK)
+        region = ws.screen.fb.data[2:9, 2:13, 0]
+        levels = np.unique(region)
+        assert len(levels) > 2  # greys between black and white
+        assert 0 in levels and 255 in levels
+
+    def test_reaches_driver_as_composite(self):
+        driver = RecordingDriver()
+        ws = WindowServer(64, 32, driver=driver)
+        ws.draw_text_aa(ws.screen, 2, 2, "Hi", BLACK)
+        assert driver.names().count("composite") == 2
+
+    def test_respects_clip(self):
+        ws = WindowServer(64, 32)
+        ws.fill_rect(ws.screen, ws.screen.bounds, WHITE)
+        with ws.clip(Rect(0, 0, 4, 32)):
+            ws.draw_text_aa(ws.screen, 2, 2, "H", BLACK)
+        assert (ws.screen.fb.data[2:9, 4:, 0] == 255).all()
+
+    def test_space_draws_nothing(self):
+        driver = RecordingDriver()
+        ws = WindowServer(64, 32, driver=driver)
+        ws.draw_text_aa(ws.screen, 2, 2, " ", BLACK)
+        assert "composite" not in driver.names()
+
+    def test_pixel_exact_through_thinc(self):
+        """AA text travels as transparent COMPOSITE commands and the
+        client's blend reproduces the server exactly."""
+        from repro.core import THINCClient, THINCServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        conn = Connection(loop, LAN_DESKTOP)
+        server = THINCServer(loop, 96, 48)
+        ws = WindowServer(96, 48, driver=server.driver, clock=loop.clock)
+        server.attach_client(conn)
+        client = THINCClient(loop, conn)
+        ws.fill_rect(ws.screen, ws.screen.bounds, (240, 235, 220, 255))
+        ws.draw_text_aa(ws.screen, 4, 4, "smooth text", (20, 20, 60, 255))
+        ws.draw_text_aa(ws.screen, 4, 20, "over colour",
+                        (160, 30, 30, 200))
+        loop.run_until_idle(max_time=5)
+        assert client.fb.same_as(ws.screen.fb)
+
+    def test_offscreen_aa_text_replays(self):
+        """AA text composed in a pixmap survives the copy-out replay
+        (transparent commands over an opaque base are replayable)."""
+        from repro.core import THINCClient, THINCServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        conn = Connection(loop, LAN_DESKTOP)
+        server = THINCServer(loop, 96, 48)
+        ws = WindowServer(96, 48, driver=server.driver, clock=loop.clock)
+        server.attach_client(conn)
+        client = THINCClient(loop, conn)
+        pm = ws.create_pixmap(80, 20)
+        ws.fill_rect(pm, pm.bounds, WHITE)
+        ws.draw_text_aa(pm, 2, 4, "buffered aa", BLACK)
+        ws.copy_area(pm, ws.screen, pm.bounds, 8, 8)
+        loop.run_until_idle(max_time=5)
+        assert client.fb.same_as(ws.screen.fb)
+        # And it went as commands, not a raw fallback.
+        assert server.driver.stats["raw_fallbacks"] == 0

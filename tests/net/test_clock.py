@@ -1,0 +1,96 @@
+"""Tests for the simulation clock and event loop."""
+
+import pytest
+
+from repro.net import EventLoop, SimClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advances(self):
+        c = SimClock()
+        c.advance_to(1.5)
+        assert c.now == 1.5
+
+    def test_rejects_backwards(self):
+        c = SimClock()
+        c.advance_to(2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(0.3, lambda: order.append("c"))
+        loop.schedule(0.1, lambda: order.append("a"))
+        loop.schedule(0.2, lambda: order.append("b"))
+        loop.run_until(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(0.1, lambda: order.append(1))
+        loop.schedule(0.1, lambda: order.append(2))
+        loop.run_until(1.0)
+        assert order == [1, 2]
+
+    def test_clock_tracks_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.5, lambda: seen.append(loop.now))
+        loop.run_until(2.0)
+        assert seen == [0.5]
+        assert loop.now == 2.0
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        hits = []
+
+        def recur(n):
+            hits.append(loop.now)
+            if n:
+                loop.schedule(0.1, lambda: recur(n - 1))
+
+        loop.schedule(0.0, lambda: recur(3))
+        loop.run_until_idle()
+        assert len(hits) == 4
+        assert abs(hits[-1] - 0.3) < 1e-12
+
+    def test_run_until_leaves_future_events(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule(5.0, lambda: hits.append(1))
+        loop.run_until(1.0)
+        assert hits == [] and loop.pending() == 1
+        loop.run_until(5.0)
+        assert hits == [1]
+
+    def test_schedule_at_absolute(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_at(2.0, lambda: hits.append(loop.now))
+        loop.run_until_idle()
+        assert hits == [2.0]
+
+    def test_rejects_negative_delay_and_past(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-1, lambda: None)
+        loop.clock.advance_to(1.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_runaway_loop_detected(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run_until(1.0, max_events=1000)

@@ -1,0 +1,71 @@
+"""Tests for the wireless loss model."""
+
+import pytest
+
+from repro.net import Connection, EventLoop, LinkParams
+
+
+def run_transfer(link, nbytes=200_000):
+    loop = EventLoop()
+    conn = Connection(loop, link)
+    got = []
+    conn.connect(lambda d: got.append((loop.now, d)), lambda d: None)
+    remaining = nbytes
+    payload = bytes(range(256))
+
+    def feed():
+        nonlocal remaining
+        while remaining > 0:
+            room = conn.down.writable_bytes()
+            if room < 256:
+                loop.schedule(0.002, feed)
+                return
+            chunk = (payload * 4)[: min(1024, remaining)]
+            conn.down.write(chunk)
+            remaining -= len(chunk)
+
+    loop.schedule(0, feed)
+    loop.run_until_idle()
+    return got, conn
+
+
+BASE = LinkParams("wifi", bandwidth_bps=24e6, rtt=0.01)
+
+
+class TestLossModel:
+    def test_lossless_by_default(self):
+        got, conn = run_transfer(BASE)
+        assert conn.down.segments_lost == 0
+
+    def test_all_bytes_still_delivered(self):
+        lossy = BASE.with_loss(0.05)
+        got, conn = run_transfer(lossy)
+        assert sum(len(d) for _, d in got) == 200_000
+        assert conn.down.segments_lost > 0
+
+    def test_delivery_stays_in_order(self):
+        """Retransmissions must not reorder the byte stream."""
+        lossy = BASE.with_loss(0.05)
+        got, conn = run_transfer(lossy)
+        stream = b"".join(d for _, d in got)
+        expected = (bytes(range(256)) * 4 * 800)[:200_000]
+        assert stream == expected
+        times = [t for t, _ in got]
+        assert times == sorted(times)
+
+    def test_loss_slows_completion(self):
+        clean, _ = run_transfer(BASE)
+        lossy, _ = run_transfer(BASE.with_loss(0.05))
+        assert lossy[-1][0] > clean[-1][0]
+
+    def test_loss_deterministic(self):
+        a, conn_a = run_transfer(BASE.with_loss(0.05))
+        b, conn_b = run_transfer(BASE.with_loss(0.05))
+        assert conn_a.down.segments_lost == conn_b.down.segments_lost
+        assert [t for t, _ in a] == [t for t, _ in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BASE.with_loss(1.5)
+        with pytest.raises(ValueError):
+            BASE.with_loss(-0.1)

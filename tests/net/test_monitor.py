@@ -1,0 +1,71 @@
+"""Tests for the packet monitor and slow-motion analysis helpers."""
+
+from repro.net import PacketMonitor
+
+
+def trace():
+    m = PacketMonitor()
+    m.record(0.00, "client->server", 50)   # click
+    m.record(0.10, "server->client", 1460)
+    m.record(0.15, "server->client", 1460)
+    m.record(0.30, "server->client", 500)
+    m.record(2.00, "client->server", 50)   # next click
+    m.record(2.20, "server->client", 900)
+    return m
+
+
+class TestAccounting:
+    def test_total_bytes_all(self):
+        assert trace().total_bytes() == 50 + 1460 + 1460 + 500 + 50 + 900
+
+    def test_total_bytes_by_direction(self):
+        m = trace()
+        assert m.total_bytes("server->client") == 1460 + 1460 + 500 + 900
+        assert m.total_bytes("client->server") == 100
+
+    def test_total_bytes_windowed(self):
+        m = trace()
+        assert m.total_bytes("server->client", start=0.0, end=1.0) == 3420
+
+    def test_len_and_clear(self):
+        m = trace()
+        assert len(m) == 6
+        m.clear()
+        assert len(m) == 0 and m.total_bytes() == 0
+
+
+class TestTimestamps:
+    def test_first_packet_after(self):
+        m = trace()
+        assert m.first_packet_time("server->client", after=0.2) == 0.30
+
+    def test_last_packet_before(self):
+        m = trace()
+        assert m.last_packet_time("server->client", before=1.0) == 0.30
+
+    def test_none_when_no_match(self):
+        m = trace()
+        assert m.first_packet_time("server->client", after=99) is None
+        assert m.last_packet_time("client->server", before=-1) is None
+
+
+class TestSpanLatency:
+    def test_page_latency_from_click_to_last_data(self):
+        m = trace()
+        # First page: click at 0, last data of its burst at 0.30.
+        assert m.span_latency(0.0, end=1.0) == 0.30
+
+    def test_second_page(self):
+        m = trace()
+        lat = m.span_latency(2.0)
+        assert abs(lat - 0.2) < 1e-9
+
+    def test_none_when_no_response(self):
+        m = trace()
+        assert m.span_latency(5.0) is None
+
+    def test_marks(self):
+        m = trace()
+        m.mark(0.0, "page-1")
+        m.mark(2.0, "page-2")
+        assert m.marks == [(0.0, "page-1"), (2.0, "page-2")]

@@ -1,0 +1,123 @@
+"""Tests for the fluid TCP-like transport model."""
+
+import pytest
+
+from repro.net import (Connection, EventLoop, LinkParams, PacketMonitor, MSS)
+
+
+def make(link, **kw):
+    loop = EventLoop()
+    mon = PacketMonitor()
+    conn = Connection(loop, link, monitor=mon, **kw)
+    received = []
+    conn.connect(lambda d: received.append((loop.now, d)),
+                 lambda d: None)
+    return loop, conn, mon, received
+
+
+FAST = LinkParams("fast", bandwidth_bps=100e6, rtt=0.010)
+
+
+class TestLinkParams:
+    def test_throughput_bandwidth_limited(self):
+        link = LinkParams("x", bandwidth_bps=8e6, rtt=0.001,
+                          tcp_window=1 << 20)
+        assert link.throughput == pytest.approx(1e6)
+
+    def test_throughput_window_limited(self):
+        link = LinkParams("x", bandwidth_bps=1e9, rtt=0.1,
+                          tcp_window=256 * 1024)
+        assert link.throughput == pytest.approx(256 * 1024 / 0.1)
+
+    def test_relay_adds_rtt(self):
+        relayed = FAST.with_relay(0.05)
+        assert relayed.effective_rtt == pytest.approx(0.060)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams("x", bandwidth_bps=0, rtt=0.1)
+        with pytest.raises(ValueError):
+            LinkParams("x", bandwidth_bps=1e6, rtt=-1)
+        with pytest.raises(ValueError):
+            LinkParams("x", bandwidth_bps=1e6, rtt=0, tcp_window=0)
+
+
+class TestDelivery:
+    def test_data_arrives_intact_and_ordered(self):
+        loop, conn, mon, received = make(FAST)
+        payload = bytes(range(256)) * 20
+        conn.down.write(payload)
+        loop.run_until_idle()
+        assert b"".join(d for _, d in received) == payload
+
+    def test_latency_at_least_half_rtt(self):
+        loop, conn, mon, received = make(FAST)
+        conn.down.write(b"x" * 100)
+        loop.run_until_idle()
+        assert received[0][0] >= FAST.rtt / 2
+
+    def test_bandwidth_paces_large_transfers(self):
+        link = LinkParams("slow", bandwidth_bps=8e6, rtt=0.002)  # 1 MB/s
+        loop, conn, mon, received = make(link)
+        conn.down.write(b"x" * 100_000)  # 0.1 s of serialisation
+        loop.run_until_idle()
+        finish = received[-1][0]
+        assert 0.095 <= finish <= 0.15
+
+    def test_window_limits_throughput(self):
+        # 1 Gbps link but tiny window over a long RTT.
+        link = LinkParams("thin", bandwidth_bps=1e9, rtt=0.1,
+                          tcp_window=16 * 1024)
+        # Oversize the send buffer so the write itself does not block;
+        # the in-flight window is what must pace delivery.
+        loop, conn, mon, received = make(link, send_buffer=1 << 20)
+        total = 160 * 1024  # ~10 windows -> ~10 RTTs
+        conn.down.write(b"x" * total)
+        loop.run_until_idle()
+        finish = received[-1][0]
+        assert finish >= 0.9  # ≥ ~9 round trips
+
+    def test_segments_are_mss_sized(self):
+        loop, conn, mon, received = make(FAST)
+        conn.down.write(b"x" * (MSS * 3 + 10))
+        loop.run_until_idle()
+        sizes = [r.size for r in mon.records]
+        assert sizes == [MSS, MSS, MSS, 10]
+
+
+class TestBackPressure:
+    def test_writable_bytes_shrinks_and_recovers(self):
+        link = LinkParams("slow", bandwidth_bps=1e6, rtt=0.01,
+                          tcp_window=8 * 1024)
+        loop, conn, mon, received = make(link)
+        ep = conn.down
+        initial = ep.writable_bytes()
+        ep.write(b"x" * initial)
+        assert ep.writable_bytes() < MSS  # buffer nearly full
+        loop.run_until_idle()
+        assert ep.writable_bytes() == initial
+
+    def test_overflow_write_raises(self):
+        loop, conn, mon, received = make(FAST)
+        room = conn.down.writable_bytes()
+        with pytest.raises(BlockingIOError):
+            conn.down.write(b"x" * (room + 1))
+
+    def test_duplex_directions_independent(self):
+        loop = EventLoop()
+        conn = Connection(loop, FAST)
+        down, up = [], []
+        conn.connect(lambda d: down.append(d), lambda d: up.append(d))
+        conn.down.write(b"server data")
+        conn.up.write(b"client data")
+        loop.run_until_idle()
+        assert b"".join(down) == b"server data"
+        assert b"".join(up) == b"client data"
+
+    def test_idle_reflects_queues(self):
+        loop, conn, mon, received = make(FAST)
+        assert conn.idle()
+        conn.down.write(b"x" * 10)
+        assert not conn.idle()
+        loop.run_until_idle()
+        assert conn.idle()

@@ -1,0 +1,111 @@
+"""Tests for RAW-pixel compression codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import compression as comp
+
+
+def random_rgba(w, h, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(h, w, 4), dtype=np.uint8)
+
+
+def flat_rgba(w, h, value=120):
+    return np.full((h, w, 4), value, dtype=np.uint8)
+
+
+class TestPngModel:
+    def test_roundtrip_up_filter(self):
+        img = random_rgba(17, 13, seed=1)
+        out = comp.png_decompress(comp.png_compress(img))
+        assert np.array_equal(out, img)
+
+    def test_roundtrip_paeth_filter(self):
+        img = random_rgba(9, 7, seed=2)
+        out = comp.png_decompress(comp.png_compress(img, row_filter="paeth"))
+        assert np.array_equal(out, img)
+
+    def test_flat_content_compresses_hard(self):
+        img = flat_rgba(100, 100)
+        assert len(comp.png_compress(img)) < img.nbytes / 100
+
+    def test_gradient_beats_plain_zlib(self):
+        """The predictive filter should win on smooth content."""
+        ramp = np.linspace(0, 255, 128, dtype=np.uint8)
+        img = np.stack([np.tile(ramp, (64, 1))] * 4, axis=-1)
+        filtered = comp.png_compress(img)
+        plain = comp.zlib_compress(img.tobytes())
+        assert len(filtered) < len(plain)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            comp.png_compress(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rejects_unknown_filter(self):
+        with pytest.raises(ValueError):
+            comp.png_compress(flat_rgba(2, 2), row_filter="sub")
+
+    def test_rejects_truncated_data(self):
+        with pytest.raises(ValueError):
+            comp.png_decompress(b"\x00\x01")
+
+    @given(st.integers(1, 24), st.integers(1, 24), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, w, h, seed):
+        img = random_rgba(w, h, seed=seed)
+        assert np.array_equal(comp.png_decompress(comp.png_compress(img)),
+                              img)
+
+
+class TestRle:
+    def test_roundtrip(self):
+        img = random_rgba(13, 7, seed=3)
+        assert np.array_equal(comp.rle_decompress(comp.rle_compress(img)),
+                              img)
+
+    def test_flat_content_is_tiny(self):
+        img = flat_rgba(64, 64)
+        assert len(comp.rle_compress(img)) < 16
+
+    def test_noise_expands(self):
+        """RLE on noise is worse than raw — the VNC failure mode."""
+        img = random_rgba(32, 32, seed=4)
+        assert len(comp.rle_compress(img)) > img.nbytes
+
+    def test_long_runs_chunked(self):
+        img = flat_rgba(300, 300)  # 90000 px > 65535 run limit
+        out = comp.rle_decompress(comp.rle_compress(img))
+        assert np.array_equal(out, img)
+
+    def test_rejects_rgb(self):
+        with pytest.raises(ValueError):
+            comp.rle_compress(np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_rejects_truncated(self):
+        data = comp.rle_compress(flat_rgba(4, 4))
+        with pytest.raises(ValueError):
+            comp.rle_decompress(data[:-3])
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, w, h, seed):
+        rng = np.random.default_rng(seed)
+        # Low-entropy pixels so runs actually occur.
+        img = rng.integers(0, 3, size=(h, w, 4), dtype=np.uint8) * 80
+        assert np.array_equal(comp.rle_decompress(comp.rle_compress(img)),
+                              img)
+
+
+class TestZlibHelpers:
+    def test_roundtrip(self):
+        data = b"thin client " * 100
+        assert comp.zlib_decompress(comp.zlib_compress(data)) == data
+
+    def test_levels_trade_size(self):
+        data = np.tile(np.arange(256, dtype=np.uint8), 200).tobytes()
+        fast = comp.zlib_compress(data, level=1)
+        best = comp.zlib_compress(data, level=9)
+        assert len(best) <= len(fast)

@@ -1,0 +1,105 @@
+"""Robustness fuzzing for the protocol parsers.
+
+A thin client is exposed to the network: whatever arrives must either
+parse or fail with a clean ValueError — never an IndexError, a numpy
+shape explosion, or a hang.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import wire
+from repro.protocol.commands import (BitmapCommand, CopyCommand,
+                                     PFillCommand, RawCommand,
+                                     SFillCommand, decode_command)
+from repro.region import Rect
+
+RED = (200, 30, 30, 255)
+
+
+def sample_messages():
+    rng = np.random.default_rng(7)
+    return [
+        wire.ScreenInitMessage(64, 48),
+        SFillCommand(Rect(0, 0, 10, 10), RED),
+        RawCommand(Rect(2, 2, 5, 4),
+                   rng.integers(0, 256, (4, 5, 4), dtype=np.uint8)),
+        CopyCommand(1, 1, Rect(20, 20, 6, 6)),
+        PFillCommand(Rect(0, 0, 16, 16),
+                     rng.integers(0, 256, (4, 4, 4), dtype=np.uint8)),
+        BitmapCommand(Rect(0, 0, 8, 8),
+                      rng.integers(0, 2, (8, 8)).astype(bool), RED),
+        wire.InputMessage("key", 3, 4, 1.5),
+        wire.AudioChunkMessage(0.25, b"\x00" * 64),
+        wire.CursorImageMessage(1, 1, 4, 4, b"\x10" * 64),
+    ]
+
+
+class TestRandomBytes:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_messages_never_crashes_unexpectedly(self, data):
+        try:
+            wire.parse_messages(data)
+        except ValueError:
+            pass  # the accepted failure mode
+
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=150, deadline=None)
+    def test_decode_command_never_crashes_unexpectedly(self, data):
+        try:
+            decode_command(data)
+        except (ValueError, KeyError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - the point of the test
+            # zlib and struct raise their own error types for truncated
+            # payloads; anything else is a robustness bug.
+            import struct
+            import zlib
+
+            assert isinstance(exc, (struct.error, zlib.error)), exc
+
+
+class TestCorruptedValidStreams:
+    @given(st.integers(0, 8), st.integers(0, 255), st.integers(0, 400))
+    @settings(max_examples=150, deadline=None)
+    def test_single_byte_corruption(self, msg_index, new_byte, position):
+        messages = sample_messages()
+        stream = b"".join(
+            wire.encode_message(m)
+            for m in messages[: (msg_index % len(messages)) + 1])
+        position %= len(stream)
+        corrupted = (stream[:position] + bytes([new_byte])
+                     + stream[position + 1 :])
+        try:
+            wire.parse_messages(corrupted)
+        except ValueError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            import struct
+            import zlib
+
+            assert isinstance(exc, (struct.error, zlib.error)), exc
+
+
+class TestArbitraryChunking:
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_stream_parser_invariant_under_chunking(self, cuts):
+        """Any re-chunking of a valid stream parses identically."""
+        stream = b"".join(wire.encode_message(m) for m in sample_messages())
+        reference = wire.parse_messages(stream)
+
+        parser = wire.StreamParser()
+        out = []
+        offset = 0
+        cut_iter = iter(cuts * ((len(stream) // sum(cuts)) + 1))
+        while offset < len(stream):
+            size = next(cut_iter)
+            out.extend(parser.feed(stream[offset : offset + size]))
+            offset += size
+        assert len(out) == len(reference)
+        assert [type(m) for m in out] == [type(m) for m in reference]
+        assert parser.pending_bytes == 0

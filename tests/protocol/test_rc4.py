@@ -1,0 +1,65 @@
+"""Tests for the RC4 stream cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.rc4 import RC4, rc4_keystream
+
+
+class TestKnownVectors:
+    """Official test vectors from RFC 6229 / original leaks."""
+
+    def test_key_Key(self):
+        # Key "Key", plaintext "Plaintext" -> BBF316E8D940AF0AD3
+        out = RC4(b"Key").process(b"Plaintext")
+        assert out.hex().upper() == "BBF316E8D940AF0AD3"
+
+    def test_key_Wiki(self):
+        out = RC4(b"Wiki").process(b"pedia")
+        assert out.hex().upper() == "1021BF0420"
+
+    def test_key_Secret(self):
+        out = RC4(b"Secret").process(b"Attack at dawn")
+        assert out.hex().upper() == "45A01F645FC35B383552544B9BF5"
+
+
+class TestBehaviour:
+    def test_roundtrip(self):
+        key = b"0123456789abcdef"
+        data = bytes(range(256)) * 4
+        assert RC4(key).process(RC4(key).process(data)) == data
+
+    def test_stream_continuity(self):
+        """Two process() calls continue the keystream, not restart it."""
+        key = b"continuity"
+        once = RC4(key).process(b"A" * 32)
+        cipher = RC4(key)
+        twice = cipher.process(b"A" * 10) + cipher.process(b"A" * 22)
+        assert once == twice
+
+    def test_keystream_helper_matches_instance(self):
+        assert rc4_keystream(b"k", 16) == RC4(b"k").keystream(16)
+
+    def test_size_preserved(self):
+        assert len(RC4(b"k").process(b"x" * 1000)) == 1000
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            RC4(b"")
+
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            RC4(b"x" * 257)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=256))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, key, data):
+        assert RC4(key).process(RC4(key).process(data)) == data
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_different_keys_differ(self, key):
+        other = key + b"\x01"
+        plain = b"\x00" * 64
+        assert RC4(key).process(plain) != RC4(other).process(plain)

@@ -1,0 +1,75 @@
+"""Tests for wire-format framing and control messages."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import (AudioChunkMessage, InputMessage, RawCommand,
+                            ResizeMessage, ScreenInitMessage, SFillCommand,
+                            VideoMoveMessage, VideoSetupMessage,
+                            VideoTeardownMessage, encode_message,
+                            parse_messages)
+from repro.region import Rect
+
+
+def roundtrip(*messages):
+    stream = b"".join(encode_message(m) for m in messages)
+    return parse_messages(stream)
+
+
+class TestControlMessages:
+    def test_video_setup(self):
+        msg = VideoSetupMessage(7, "YV12", 352, 240, Rect(10, 20, 704, 480))
+        (out,) = roundtrip(msg)
+        assert out == msg
+
+    def test_video_move(self):
+        msg = VideoMoveMessage(7, Rect(0, 0, 100, 80))
+        (out,) = roundtrip(msg)
+        assert out == msg
+
+    def test_video_teardown(self):
+        (out,) = roundtrip(VideoTeardownMessage(9))
+        assert out == VideoTeardownMessage(9)
+
+    def test_audio_chunk(self):
+        msg = AudioChunkMessage(1.375, b"\x01\x02\x03" * 100)
+        (out,) = roundtrip(msg)
+        assert out.timestamp == 1.375
+        assert out.samples == msg.samples
+
+    def test_input(self):
+        msg = InputMessage("mouse-click", 512, 384, 2.5)
+        (out,) = roundtrip(msg)
+        assert out == msg
+
+    def test_resize_and_init(self):
+        outs = roundtrip(ResizeMessage(320, 240), ScreenInitMessage(1024, 768))
+        assert outs == [ResizeMessage(320, 240), ScreenInitMessage(1024, 768)]
+
+
+class TestMixedStreams:
+    def test_commands_and_controls_interleave(self):
+        rng = np.random.default_rng(0)
+        raw = RawCommand(Rect(0, 0, 4, 4),
+                         rng.integers(0, 256, (4, 4, 4), dtype=np.uint8))
+        outs = roundtrip(
+            ScreenInitMessage(64, 48),
+            SFillCommand(Rect(0, 0, 64, 48), (10, 20, 30, 255)),
+            raw,
+            InputMessage("key", 0, 0, 1.0),
+        )
+        assert isinstance(outs[0], ScreenInitMessage)
+        assert isinstance(outs[1], SFillCommand)
+        assert isinstance(outs[2], RawCommand)
+        assert np.array_equal(outs[2].pixels, raw.pixels)
+        assert isinstance(outs[3], InputMessage)
+
+    def test_empty_stream(self):
+        assert parse_messages(b"") == []
+
+    def test_truncated_frame_rejected(self):
+        data = encode_message(ScreenInitMessage(10, 10))
+        with pytest.raises(ValueError):
+            parse_messages(data[:-1])
+        with pytest.raises(ValueError):
+            parse_messages(data + b"\x10")

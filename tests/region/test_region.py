@@ -1,0 +1,130 @@
+"""Unit and property tests for the Region algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.region import Rect, Region
+
+coords = st.integers(min_value=0, max_value=24)
+sizes = st.integers(min_value=1, max_value=12)
+small_rects = st.builds(Rect, coords, coords, sizes, sizes)
+regions = st.lists(small_rects, max_size=5).map(Region)
+
+
+def pixel_set(region: Region):
+    pts = set()
+    for r in region:
+        pts.update(r.pixels())
+    return pts
+
+
+class TestConstruction:
+    def test_empty(self):
+        region = Region.empty()
+        assert region.is_empty
+        assert region.area == 0
+        assert not region
+        assert len(region) == 0
+
+    def test_from_rect(self):
+        region = Region.from_rect(Rect(1, 1, 4, 4))
+        assert region.area == 16
+        assert region.bounds == Rect(1, 1, 4, 4)
+
+    def test_from_empty_rect(self):
+        assert Region.from_rect(Rect(0, 0, 0, 0)).is_empty
+
+    def test_copy_is_independent(self):
+        a = Region.from_rect(Rect(0, 0, 4, 4))
+        b = a.copy()
+        b.add(Rect(10, 10, 2, 2))
+        assert a.area == 16
+        assert b.area == 20
+
+
+class TestInvariants:
+    def test_add_overlapping_keeps_rects_disjoint(self):
+        region = Region()
+        region.add(Rect(0, 0, 10, 10))
+        region.add(Rect(5, 5, 10, 10))
+        rects = list(region)
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+        assert region.area == 100 + 100 - 25
+
+    def test_add_contained_rect_is_noop(self):
+        region = Region.from_rect(Rect(0, 0, 10, 10))
+        region.add(Rect(2, 2, 3, 3))
+        assert region.area == 100
+
+    def test_subtract_rect(self):
+        region = Region.from_rect(Rect(0, 0, 10, 10))
+        region.subtract_rect(Rect(0, 0, 10, 5))
+        assert region.area == 50
+        assert not region.contains_point(0, 0)
+        assert region.contains_point(0, 5)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Region())
+
+
+class TestQueries:
+    def test_contains_rect_spanning_two_parts(self):
+        region = Region([Rect(0, 0, 5, 10), Rect(5, 0, 5, 10)])
+        assert region.contains_rect(Rect(3, 3, 4, 4))
+
+    def test_contains_rect_with_gap(self):
+        region = Region([Rect(0, 0, 4, 10), Rect(6, 0, 4, 10)])
+        assert not region.contains_rect(Rect(3, 3, 4, 4))
+
+    def test_overlaps(self):
+        a = Region.from_rect(Rect(0, 0, 4, 4))
+        b = Region.from_rect(Rect(3, 3, 4, 4))
+        c = Region.from_rect(Rect(10, 10, 2, 2))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_bounds_multi(self):
+        region = Region([Rect(2, 3, 2, 2), Rect(8, 1, 2, 2)])
+        assert region.bounds == Rect.from_corners(2, 1, 10, 5)
+
+
+class TestAlgebraProperties:
+    @given(regions, regions)
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_pixel_union(self, a, b):
+        assert pixel_set(a.union(b)) == pixel_set(a) | pixel_set(b)
+
+    @given(regions, regions)
+    @settings(max_examples=60, deadline=None)
+    def test_subtract_is_pixel_difference(self, a, b):
+        assert pixel_set(a.subtract(b)) == pixel_set(a) - pixel_set(b)
+
+    @given(regions, regions)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_is_pixel_intersection(self, a, b):
+        assert pixel_set(a.intersect(b)) == pixel_set(a) & pixel_set(b)
+
+    @given(regions)
+    @settings(max_examples=60, deadline=None)
+    def test_rects_always_disjoint(self, region):
+        rects = list(region)
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+
+    @given(regions, regions)
+    @settings(max_examples=60, deadline=None)
+    def test_equality_is_representation_independent(self, a, b):
+        same = pixel_set(a) == pixel_set(b)
+        assert (a == b) == same
+
+    @given(regions, st.integers(-10, 10), st.integers(-10, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_translate(self, region, dx, dy):
+        moved = region.translate(dx, dy)
+        assert pixel_set(moved) == {(x + dx, y + dy)
+                                    for x, y in pixel_set(region)}

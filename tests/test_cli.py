@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.pages == 8 and args.frames == 120
+
+    def test_demo_network_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--network", "dialup"])
+
+
+class TestSites:
+    def test_prints_table(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        assert "Seoul, Korea" in out
+        assert "256 KB" in out
+
+
+class TestDemo:
+    def test_demo_runs_pixel_exact(self, capsys):
+        assert main(["demo", "--width", "200", "--height", "160"]) == 0
+        out = capsys.readouterr().out
+        assert "pixel-exact client : True" in out
+        assert "SFILL" in out
+
+
+class TestTrace:
+    def test_record_then_show(self, tmp_path, capsys):
+        path = str(tmp_path / "s.trace")
+        assert main(["trace", "record", path]) == 0
+        assert main(["trace", "show", path]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "sfill" in out
+
+
+class TestFiguresFilter:
+    def test_unknown_filter_errors(self, capsys):
+        assert main(["figures", "--only", "fig99"]) == 2
+
+
+class TestFiguresSubcommand:
+    def test_single_figure_micro_scale(self, capsys):
+        # fig4 at the smallest scale: exercises the whole path quickly.
+        assert main(["figures", "--only", "fig4", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Seoul, Korea" in out

@@ -1,0 +1,64 @@
+"""Tests for the synthetic video clip source."""
+
+import numpy as np
+import pytest
+
+from repro.video.stream import BENCHMARK_CLIP, SyntheticVideoClip
+
+
+class TestClipParameters:
+    def test_benchmark_clip_matches_paper(self):
+        clip = BENCHMARK_CLIP()
+        assert (clip.width, clip.height) == (352, 240)
+        assert clip.fps == 24.0
+        assert clip.duration == 34.75
+        assert clip.frame_count == 834
+
+    def test_frame_bytes_is_12bpp(self):
+        clip = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        assert clip.frame_bytes == 32 * 16 * 3 // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticVideoClip(width=31, height=16)
+        with pytest.raises(ValueError):
+            SyntheticVideoClip(fps=0)
+
+
+class TestFrames:
+    def test_deterministic(self):
+        a = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        b = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        assert np.array_equal(a.rgb_frame(3), b.rgb_frame(3))
+        assert a.yv12_frame(3) == b.yv12_frame(3)
+
+    def test_consecutive_frames_differ(self):
+        clip = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        assert not np.array_equal(clip.rgb_frame(0), clip.rgb_frame(1))
+
+    def test_frames_are_poorly_compressible(self):
+        """Decoded video should defeat RLE/zlib like real content."""
+        import zlib
+
+        clip = SyntheticVideoClip(width=64, height=32, fps=10, duration=1)
+        data = clip.yv12_frame(0)
+        assert len(zlib.compress(data, 6)) > len(data) * 0.5
+
+    def test_iterator_yields_timed_frames(self):
+        clip = SyntheticVideoClip(width=32, height=16, fps=10, duration=0.5)
+        frames = list(clip.frames())
+        assert len(frames) == 5
+        times = [t for t, _ in frames]
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+        assert all(len(d) == clip.frame_bytes for _, d in frames)
+
+    def test_iterator_limit(self):
+        clip = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        assert len(list(clip.frames(limit=3))) == 3
+
+    def test_out_of_range_frame(self):
+        clip = SyntheticVideoClip(width=32, height=16, fps=10, duration=1)
+        with pytest.raises(IndexError):
+            clip.rgb_frame(10)
+        with pytest.raises(IndexError):
+            clip.rgb_frame(-1)

@@ -1,0 +1,96 @@
+"""Tests for YUV conversion and the YV12 wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import yuv
+
+
+def random_rgb(w, h, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+
+
+class TestFrameSize:
+    def test_yv12_is_12_bits_per_pixel(self):
+        assert yuv.yv12_frame_size(352, 240) == 352 * 240 * 3 // 2
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(ValueError):
+            yuv.yv12_frame_size(3, 4)
+        with pytest.raises(ValueError):
+            yuv.yv12_frame_size(4, 5)
+
+
+class TestConversion:
+    def test_grey_roundtrip_is_tight(self):
+        rgb = np.full((8, 8, 3), 100, dtype=np.uint8)
+        out = yuv.yv12_to_rgb(*yuv.rgb_to_yv12(rgb))
+        assert np.max(np.abs(out.astype(int) - 100)) <= 2
+
+    def test_primaries_roundtrip(self):
+        for color in [(255, 0, 0), (0, 255, 0), (0, 0, 255), (255, 255, 255)]:
+            rgb = np.zeros((4, 4, 3), dtype=np.uint8)
+            rgb[:, :] = color
+            out = yuv.yv12_to_rgb(*yuv.rgb_to_yv12(rgb))
+            assert np.max(np.abs(out.astype(int) - np.array(color))) <= 4
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_error_bounded(self, seed):
+        """Chroma subsampling loses detail but flat blocks survive."""
+        rng = np.random.default_rng(seed)
+        # Build a frame of flat 2x2 blocks, matching the subsample grid.
+        small = rng.integers(0, 256, size=(4, 4, 3), dtype=np.uint8)
+        rgb = np.repeat(np.repeat(small, 2, 0), 2, 1)
+        out = yuv.yv12_to_rgb(*yuv.rgb_to_yv12(rgb))
+        assert np.max(np.abs(out.astype(int) - rgb.astype(int))) <= 6
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            yuv.rgb_to_yv12(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            yuv.rgb_to_yv12(np.zeros((5, 4, 3), dtype=np.uint8))
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        rgb = random_rgb(16, 12)
+        y, v, u = yuv.rgb_to_yv12(rgb)
+        data = yuv.pack_yv12(y, v, u)
+        assert len(data) == yuv.yv12_frame_size(16, 12)
+        y2, v2, u2 = yuv.unpack_yv12(data, 16, 12)
+        assert np.array_equal(y, y2)
+        assert np.array_equal(v, v2)
+        assert np.array_equal(u, u2)
+
+    def test_unpack_validates_length(self):
+        with pytest.raises(ValueError):
+            yuv.unpack_yv12(b"\x00" * 10, 16, 12)
+
+
+class TestScaling:
+    def test_identity_scale(self):
+        rgb = random_rgb(8, 6)
+        assert np.array_equal(yuv.scale_rgb(rgb, 8, 6), rgb)
+
+    def test_upscale_dimensions(self):
+        rgb = random_rgb(8, 6)
+        out = yuv.scale_rgb(rgb, 32, 24)
+        assert out.shape == (24, 32, 3)
+
+    def test_downscale_dimensions(self):
+        rgb = random_rgb(32, 24)
+        out = yuv.scale_rgb(rgb, 8, 6)
+        assert out.shape == (6, 8, 3)
+
+    def test_solid_frame_scales_to_solid(self):
+        rgb = np.full((6, 8, 3), 77, dtype=np.uint8)
+        out = yuv.scale_rgb(rgb, 20, 14)
+        assert np.all(out == 77)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            yuv.scale_rgb(random_rgb(4, 4), 0, 4)
