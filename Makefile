@@ -2,13 +2,21 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-paper protocol-doc examples clean
+.PHONY: install test lint ci bench figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
+	else echo "ruff not installed; skipping lint"; fi
+
+# What .github/workflows/ci.yml runs: lint gate + the tier-1 suite.
+ci: lint
+	PYTHONPATH=src $(PY) -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

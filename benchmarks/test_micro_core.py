@@ -114,6 +114,31 @@ def test_micro_scale_command(benchmark):
     assert len(result) == 1
 
 
+def test_micro_prepare_plane_fanout(benchmark):
+    """Fanning one prepared RAW update out to 8 same-viewport sessions.
+
+    After the first miss everything is cache hits plus cheap clone
+    handoffs, so the per-session cost must stay far below the
+    scale/compress work the plane amortises.
+    """
+    from repro.core import THINCServer
+    from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+    loop = EventLoop()
+    server = THINCServer(loop, 1024, 768)
+    for _ in range(8):
+        server.attach_client(Connection(loop, LAN_DESKTOP))
+    loop.run_until_idle()
+
+    def run():
+        cmd = RawCommand(Rect(0, 0, 64, 64), PHOTO)
+        server.plane.submit(cmd, server.sessions)
+        loop.run_until_idle()
+        return server.plane.stats.cache_hits
+
+    assert benchmark(run) > 0
+
+
 def test_micro_buffer_flush(benchmark):
     """Buffer + flush cycle for a burst of small updates."""
 

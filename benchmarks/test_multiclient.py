@@ -4,11 +4,15 @@ The paper's introduction sells display multiplexing — "groups of users
 distributed over large geographical locations can seamlessly
 collaborate using a single shared computing session."  This bench
 measures what sharing costs: with N attached clients the server
-translates once but buffers/sends per client, so total bytes grow
-linearly while per-client delivery latency stays flat (each client has
-its own connection; the shared work is the cheap translation).
+translates once and — thanks to the shared prepare plane — scales and
+compresses once per distinct viewport, so total bytes grow linearly
+(each client has its own pipe) while server CPU stays essentially flat
+and per-client delivery latency stays flat too.
 """
 
+import pytest
+
+from repro.bench.analysis import pipeline_report
 from repro.bench.reporting import format_mbytes, format_ms, format_table
 from repro.core import THINCClient, THINCServer
 from repro.display import WindowServer
@@ -38,7 +42,12 @@ def run_shared_session(n_clients: int):
         finish_times.append(loop.now - start)
     total = monitor.total_bytes("server->client")
     mean_latency = sum(finish_times) / len(finish_times)
-    return total, mean_latency
+    return {
+        "total_bytes": total,
+        "latency": mean_latency,
+        "server": dict(server.stats),
+        "pipeline": server.pipeline_stats(),
+    }
 
 
 def run_scalability():
@@ -49,22 +58,40 @@ def test_multiclient_scalability(benchmark, show):
     results = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
     show(format_table(
         "Screen sharing: one session, N clients (4 pages, LAN)",
-        ["clients", "total bytes", "per-client bytes", "page time"],
-        [[n, format_mbytes(total), format_mbytes(total / n),
-          format_ms(latency)]
-         for n, (total, latency) in sorted(results.items())]))
+        ["clients", "total bytes", "per-client bytes", "page time",
+         "server CPU", "prepare hits/lookups"],
+        [[n, format_mbytes(r["total_bytes"]),
+          format_mbytes(r["total_bytes"] / n),
+          format_ms(r["latency"]),
+          format_ms(r["server"]["cpu_time"]),
+          f"{r['server']['prepare_cache_hits']}/"
+          f"{r['server']['prepare_cache_hits'] + r['server']['prepare_cache_misses']}"]
+         for n, r in sorted(results.items())]))
+    show(format_table(
+        "Pipeline stages at N=8",
+        ["stage", "in", "out", "bytes", "cpu", "cache"],
+        pipeline_report(results[8]["pipeline"])))
 
-    one_total, one_latency = results[1]
+    one = results[1]
     for n in CLIENT_COUNTS[1:]:
-        total, latency = results[n]
+        r = results[n]
         # Bytes scale linearly (each client gets the full stream)...
-        assert total == pytest_approx(n * one_total, rel=0.05), n
+        assert r["total_bytes"] == pytest.approx(
+            n * one["total_bytes"], rel=0.05), n
         # ...while delivery time stays essentially flat: translation is
         # shared, per-client work is buffered sends on separate pipes.
-        assert latency < one_latency * 2.0, n
+        assert r["latency"] < one["latency"] * 2.0, n
 
-
-def pytest_approx(value, rel):
-    import pytest
-
-    return pytest.approx(value, rel=rel)
+    # The shared prepare plane does the scale/compress work once per
+    # distinct viewport: with 8 same-viewport clients the server's CPU
+    # pipeline must stay under 2x the single-client cost (vs ~8x when
+    # every session prepared independently)...
+    eight = results[8]
+    assert eight["server"]["cpu_time"] < 2.0 * one["server"]["cpu_time"]
+    # ...because all but the first lookup per command hit the cache: the
+    # misses match the single-client run and the other 7/8 of lookups
+    # are hits.
+    assert eight["server"]["prepare_cache_misses"] == \
+        one["server"]["prepare_cache_misses"]
+    assert eight["server"]["prepare_cache_hits"] == \
+        7 * eight["server"]["prepare_cache_misses"]

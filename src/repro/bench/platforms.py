@@ -190,6 +190,17 @@ class THINCPlatform(Platform):
                        for no, t in stats.arrivals)
         return out
 
+    # -- server-side pipeline statistics -----------------------------------
+
+    def server_cpu_time(self) -> float:
+        """CPU seconds the server spent preparing commands (shared
+        prepare plane: charged once per distinct viewport)."""
+        return self.server.stats["cpu_time"]
+
+    def pipeline_stats(self):
+        """Per-stage counters of the server's command pipeline."""
+        return self.server.pipeline_stats()
+
 
 class _BaselinePlatform(Platform):
     """Common plumbing for the scrape/forward baselines."""

@@ -6,6 +6,7 @@ from .client import ClientCostModel, THINCClient
 from .miniclient import MiniClient
 from .command_queue import CommandQueue
 from .delivery import ClientBuffer, FlushResult
+from .pipeline import PreparePlane, StageStats, STAGE_NAMES
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import FIFOScheduler, SRSFScheduler
 from .server import ServerCostModel, THINCServer, THINCSession
@@ -23,6 +24,9 @@ __all__ = [
     "FlushResult",
     "SRSFScheduler",
     "FIFOScheduler",
+    "PreparePlane",
+    "StageStats",
+    "STAGE_NAMES",
     "THINCDriver",
     "THINCServer",
     "THINCSession",

@@ -96,6 +96,7 @@ class THINCClient:
             "bytes_received": 0,
             "messages": 0,
             "commands_by_kind": {},
+            "bytes_by_kind": {},
             "last_update_time": 0.0,
             "processing_time": 0.0,
         }
@@ -172,6 +173,8 @@ class THINCClient:
     def _execute(self, cmd: Command, now: float) -> None:
         kinds = self.stats["commands_by_kind"]
         kinds[cmd.kind] = kinds.get(cmd.kind, 0) + 1
+        sizes = self.stats["bytes_by_kind"]
+        sizes[cmd.kind] = sizes.get(cmd.kind, 0) + cmd.wire_size()
         npixels = cmd.dest.area
         self.stats["processing_time"] += self.cost_model.cost(
             cmd.wire_size(), npixels)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Protocol, Tuple
 
+from ..protocol import wire
 from ..protocol.commands import Command, CopyCommand
 from ..region import Rect
 from .command_queue import CommandQueue
@@ -27,8 +28,9 @@ from .scheduler import SRSFScheduler
 __all__ = ["ClientBuffer", "FlushResult", "REALTIME_RADIUS",
            "REALTIME_WINDOW"]
 
-# Frame header bytes added around a command by the wire format.
-_FRAME_OVERHEAD = 5
+# Frame header bytes added around a command by the wire format, taken
+# from the framing struct itself so the two cannot drift apart.
+_FRAME_OVERHEAD = wire.FRAME_OVERHEAD
 
 # A command is real-time when it overlaps a square of this half-width
 # around an input event received within the last REALTIME_WINDOW seconds.
@@ -71,7 +73,9 @@ class ClientBuffer:
         # by the session); defaults to the bare command encoding.
         self._frame = frame or (lambda cmd: cmd.encode())
         self._recent_inputs: List[Tuple[float, int, int]] = []
-        self.stats = {"realtime_marked": 0, "floors_set": 0}
+        self.stats = {"realtime_marked": 0, "floors_set": 0,
+                      "commands_in": 0, "commands_out": 0,
+                      "bytes_out": 0, "commands_split": 0}
 
     # -- input tracking ------------------------------------------------------
 
@@ -97,6 +101,7 @@ class ClientBuffer:
 
     def add(self, command: Command, now: float = 0.0) -> None:
         """Buffer a command, computing its dependency floor (Section 5)."""
+        self.stats["commands_in"] += 1
         stored = self.queue.add(command)
         if stored is not command:
             # Merged into its predecessor.  The widened output rect can
@@ -167,6 +172,8 @@ class ClientBuffer:
                     self.queue.remove(cmd)
                     result.bytes_written += len(data)
                     result.commands_sent += 1
+                    self.stats["commands_out"] += 1
+                    self.stats["bytes_out"] += len(data)
                     continue
             # Would block: try to break off a head that fits.  The head
             # is sized from the command's average bytes-per-row, so an
@@ -183,6 +190,8 @@ class ClientBuffer:
                     self.queue.replace(cmd, rest)
                     result.bytes_written += len(head_data)
                     result.commands_split += 1
+                    self.stats["commands_split"] += 1
+                    self.stats["bytes_out"] += len(head_data)
                     break
                 budget //= 2
             result.blocked = True

@@ -1,0 +1,218 @@
+"""The staged command-preparation pipeline.
+
+Display updates flow through six named stages on their way from the
+window server to a client::
+
+    Translate -> Scale -> Prepare/Compress -> Buffer/Schedule
+              -> Encrypt/Frame -> Flush
+
+The first three stages are *shared* across sessions; the last three are
+per-session.  The architectural point (mirroring how VDI systems share
+encode work across viewers) is that scaling and RAW/composite payload
+compression — the only expensive CPU in the server — happen **once per
+distinct viewport**, not once per client:
+
+* :class:`PreparePlane` owns the Scale and Prepare/Compress stages.  A
+  prepared-command cache keyed by ``(command identity, viewport scale
+  key)`` holds the scaled, compressed result of each translated
+  command; N attached clients with the same viewport cause one cache
+  miss (the work) and N-1 hits (free).  The serial CPU model charges
+  the preparation cost once, on the miss.
+* Each session receives a cheap per-session *clone* of the prepared
+  command (`Command.translated(0, 0)` shares the pixel arrays and the
+  cached compressed payload), because the per-session command queue
+  mutates what it stores (sequence numbers, clipping, merging) and the
+  cached original must stay pristine.  Shared payloads also make the
+  wire frames of cache hits byte-identical across sessions.
+
+Every stage carries a :class:`StageStats` block (commands in/out, bytes
+out, CPU seconds, cache hits/misses, queue depth) so servers, sessions
+and benchmarks can report exactly where work happens; see
+``THINCServer.pipeline_stats`` and :func:`repro.bench.analysis.pipeline_report`.
+
+Ordering guarantee: prepared commands become *ready* at the CPU model's
+completion time, and a cache hit can be ready before work submitted
+earlier to the same session has finished preparing.  Sessions therefore
+enqueue through a monotonic per-session pipe tail (`enqueue_prepared`)
+so the buffer stage always sees commands in submission order — the
+invariant the command queue's eviction and dependency rules assume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Tuple
+
+from ..protocol import wire
+from ..protocol.commands import Command, CompositeCommand, RawCommand
+
+__all__ = ["STAGE_NAMES", "StageStats", "PreparedCommand", "PreparePlane",
+           "TranslateStage", "FrameStage"]
+
+STAGE_NAMES = ("translate", "scale", "prepare", "buffer", "frame", "flush")
+
+
+class StageStats:
+    """Uniform instrumentation counters carried by every stage."""
+
+    __slots__ = ("commands_in", "commands_out", "bytes_out", "cpu_seconds",
+                 "cache_hits", "cache_misses", "queue_depth")
+
+    def __init__(self) -> None:
+        self.commands_in = 0
+        self.commands_out = 0
+        self.bytes_out = 0
+        self.cpu_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.queue_depth = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def accumulate(self, other: "StageStats") -> "StageStats":
+        """Sum *other* into self (used to aggregate session stages)."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"StageStats({body})"
+
+
+class TranslateStage:
+    """Stage 1 — where translated driver commands enter the pipeline.
+
+    Translation itself happens in :class:`repro.core.translation.
+    THINCDriver`; this stage marks the boundary at which a translated
+    command is admitted into the delivery pipeline, and counts it.
+    """
+
+    name = "translate"
+
+    def __init__(self) -> None:
+        self.stats = StageStats()
+
+    def admit(self, command: Command) -> Command:
+        self.stats.commands_in += 1
+        self.stats.commands_out += 1
+        return command
+
+
+class PreparedCommand:
+    """A scaled, compressed command plus the time its CPU work completes."""
+
+    __slots__ = ("command", "ready_at")
+
+    def __init__(self, command: Command, ready_at: float):
+        self.command = command
+        self.ready_at = ready_at
+
+
+class PreparePlane:
+    """Stages 2–3 — shared Scale and Prepare/Compress planes.
+
+    The cache key is ``(command identity, viewport scale key)``:
+    command identity is a monotonically increasing id stamped on each
+    translated command the first time it enters the plane, and the
+    scale key is :attr:`repro.core.resize.DisplayScaler.key` (view rect
+    + client size — everything that determines the scaled output).
+    """
+
+    def __init__(self, loop, cost_model, cache_entries: int = 128):
+        self.loop = loop
+        self.cost_model = cost_model
+        self.cache_entries = cache_entries
+        # (prep_id, scale_key) -> List[PreparedCommand], LRU-ordered.
+        self._cache: "OrderedDict[Tuple, List[PreparedCommand]]" = \
+            OrderedDict()
+        self._prep_ids = itertools.count()
+        # One serial CPU pipeline for the whole server: preparation cost
+        # is charged here exactly once per distinct prepared entry.
+        self._cpu_free_at = 0.0
+        self.scale_stats = StageStats()
+        self.stats = StageStats()  # the Prepare/Compress stage
+
+    # -- the shared path -----------------------------------------------------
+
+    def submit(self, command: Command, sessions: Iterable) -> None:
+        """Prepare *command* once per distinct viewport among *sessions*
+        and fan the prepared clones out to each session's buffer stage.
+        """
+        pid = getattr(command, "_prep_id", None)
+        if pid is None:
+            pid = command._prep_id = next(self._prep_ids)
+        for session in sessions:
+            key = (pid,) + session.scaler.key
+            entry = self._cache.get(key)
+            if entry is None:
+                entry, cost = self._prepare(command, session.scaler)
+                self._store(key, entry)
+                self.stats.cache_misses += 1
+                # Attribute the miss to the session that triggered it;
+                # per-session cpu_time sums to the server total.
+                session.stats["cpu_time"] += cost
+            else:
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+            for prepared in entry:
+                # Per-session clone: shares pixels and compressed
+                # payload, but queue-mutable state stays private.
+                session.enqueue_prepared(prepared.command.translated(0, 0),
+                                         prepared.ready_at)
+
+    def _prepare(self, command: Command,
+                 scaler) -> Tuple[List[PreparedCommand], float]:
+        self.scale_stats.commands_in += 1
+        scaled = scaler.scale_command(command)
+        self.scale_stats.commands_out += len(scaled)
+        out: List[PreparedCommand] = []
+        total_cost = 0.0
+        for cmd in scaled:
+            cpu = self.cost_model.cost(cmd)
+            start = max(self.loop.now, self._cpu_free_at)
+            self._cpu_free_at = start + cpu
+            total_cost += cpu
+            self.stats.commands_in += 1
+            self.stats.commands_out += 1
+            self.stats.cpu_seconds += cpu
+            if isinstance(cmd, (RawCommand, CompositeCommand)):
+                # Materialise the compressed payload now: this is the
+                # Prepare/Compress stage's real work, done once and then
+                # shared by every clone (hence byte-identical frames).
+                self.stats.bytes_out += len(cmd._encoded_payload())
+            else:
+                self.stats.bytes_out += cmd.wire_size()
+            out.append(PreparedCommand(cmd, self._cpu_free_at))
+        return out, total_cost
+
+    def _store(self, key: Tuple, entry: List[PreparedCommand]) -> None:
+        self._cache[key] = entry
+        while len(self._cache) > self.cache_entries:
+            self._cache.popitem(last=False)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+class FrameStage:
+    """Stage 5 — per-session framing and (optional) RC4 encryption."""
+
+    name = "frame"
+
+    def __init__(self, cipher=None):
+        self.cipher = cipher
+        self.stats = StageStats()
+
+    def frame(self, msg) -> bytes:
+        data = wire.encode_message(msg)
+        if self.cipher is not None:
+            data = self.cipher.process(data)
+        self.stats.commands_in += 1
+        self.stats.commands_out += 1
+        self.stats.bytes_out += len(data)
+        return data

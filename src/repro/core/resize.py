@@ -123,6 +123,18 @@ class DisplayScaler:
         return (self.sx == 1.0 and self.sy == 1.0
                 and self.view.x == 0 and self.view.y == 0)
 
+    @property
+    def key(self):
+        """Hashable identity of this scaling transform.
+
+        Two scalers with equal keys produce identical output for any
+        command — the view rect and the client size fully determine
+        ``sx``/``sy`` — so the prepare plane uses this as the viewport
+        half of its prepared-command cache key.
+        """
+        return (self.view.x, self.view.y, self.view.width,
+                self.view.height, self.client_w, self.client_h)
+
     def scale_command(self, cmd: Command) -> List[Command]:
         """Apply the Section 6 per-command policy; may return []."""
         if self.identity:

@@ -49,6 +49,7 @@ class SRSFScheduler:
             raise ValueError("need at least one queue and a positive base")
         self.num_queues = num_queues
         self.base_size = base_size
+        self.stats = {"orderings": 0, "realtime_preempted": 0}
 
     def bucket(self, size: int) -> int:
         """Queue index for a command of *size* remaining bytes."""
@@ -67,6 +68,8 @@ class SRSFScheduler:
         normal = [c for c in commands if not c.realtime]
         realtime.sort(key=lambda c: c.seq)
         normal.sort(key=lambda c: (self.effective_bucket(c), c.seq))
+        self.stats["orderings"] += 1
+        self.stats["realtime_preempted"] += len(realtime)
         return realtime + normal
 
 

@@ -2,26 +2,32 @@
 
 The server owns one :class:`~repro.core.translation.THINCDriver` (which
 plugs into the window server as its video driver) and any number of
-client sessions.  Each session has its own command buffer, SRSF
-scheduler, optional server-side display scaler (Section 6) and optional
-RC4 stream cipher (Section 7).  Updates are *pushed*: whenever work is
-buffered the session schedules flush periods on the event loop and
-commits as much as the non-blocking transport will take.
+client sessions.  Display updates flow through the staged pipeline of
+:mod:`repro.core.pipeline`: translated commands are admitted once,
+scaled and compressed once per distinct viewport on the shared
+**prepare plane**, and then fanned out to each session, whose own state
+is only the scheduler-backed buffer, the optional RC4 stream cipher
+(Section 7) and the flush machinery.  Updates are *pushed*: whenever
+work is buffered the session schedules flush periods on the event loop
+and commits as much as the non-blocking transport will take.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..display.driver import InputEvent, VideoStreamInfo
 from ..net.clock import EventLoop
 from ..net.transport import Connection
 from ..protocol import wire
-from ..protocol.commands import Command
+from ..protocol.commands import (Command, CompositeCommand, RawCommand,
+                                 VideoFrameCommand)
 from ..protocol.rc4 import RC4
 from ..region import Rect
+from . import pipeline
 from .delivery import ClientBuffer
-from .resize import DisplayScaler
+from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
 from .translation import THINCDriver
 
@@ -46,9 +52,6 @@ class ServerCostModel:
     per_command = 2e-6  # translation bookkeeping
 
     def cost(self, command) -> float:
-        from ..protocol.commands import (CompositeCommand, RawCommand,
-                                         VideoFrameCommand)
-
         cpu = self.per_command
         if isinstance(command, RawCommand) and command.compress:
             cpu += command.pixels.nbytes / self.png_bytes_per_second
@@ -60,7 +63,12 @@ class ServerCostModel:
 
 
 class THINCSession:
-    """Per-client server state."""
+    """Per-client server state: buffer/schedule, frame/encrypt, flush.
+
+    Scaling and compression live on the server's shared prepare plane;
+    the session only receives already-prepared commands through
+    :meth:`enqueue_prepared`.
+    """
 
     def __init__(self, server: "THINCServer", connection: Connection,
                  viewport=None, encrypt_key: Optional[bytes] = None):
@@ -70,53 +78,65 @@ class THINCSession:
         self.viewport = viewport or (server.width, server.height)
         self.scaler = DisplayScaler((server.width, server.height),
                                     self.viewport)
-        self.cipher = RC4(encrypt_key) if encrypt_key else None
+        self.frame_stage = pipeline.FrameStage(
+            RC4(encrypt_key) if encrypt_key else None)
         self.buffer = ClientBuffer(
             scheduler=server.scheduler_factory(),
             merge=server.merge,
-            frame=self._frame,
+            frame=self.frame_stage.frame,
         )
-        self._control: List[bytes] = []
-        self._audio: List[bytes] = []
+        self._control: Deque[bytes] = deque()
+        self._audio: Deque[bytes] = deque()
         self._flush_scheduled = False
-        self._cpu_free_at = 0.0
+        # Monotonic per-session enqueue horizon: a cache hit on the
+        # prepare plane can be ready *before* this session's previously
+        # submitted work, and the buffer stage must still see commands
+        # in submission order (see repro.core.pipeline module docs).
+        self._pipe_tail = 0.0
         self.stats = {"messages_sent": 0, "bytes_sent": 0,
                       "flush_periods": 0, "cpu_time": 0.0}
         connection.up.connect(self._on_client_data)
         self._parser = wire.StreamParser()
         self.queue_control(wire.ScreenInitMessage(*self.viewport))
 
+    @property
+    def cipher(self):
+        return self.frame_stage.cipher
+
     # -- framing ------------------------------------------------------------
 
     def _frame(self, msg) -> bytes:
-        data = wire.encode_message(msg)
-        if self.cipher is not None:
-            data = self.cipher.process(data)
-        return data
+        return self.frame_stage.frame(msg)
 
     # -- enqueue paths ---------------------------------------------------------
 
     def submit(self, command: Command) -> None:
-        """Buffer a display command, scaled to this client's viewport.
+        """Route a display command through the shared prepare plane.
 
-        Commands pass through a serial CPU pipeline: compressing a RAW
-        payload takes real server time, and a command only becomes
-        sendable once prepared.  The pipeline is FIFO, so command order
-        is preserved.
+        Preparation (scaling + compression) costs real server CPU; a
+        command only becomes sendable once prepared.  The plane's cache
+        means a command another same-viewport session already paid for
+        arrives here for free.
         """
-        for scaled in self.scaler.scale_command(command):
-            cpu = self.server.cost_model.cost(scaled)
-            start = max(self.loop.now, self._cpu_free_at)
-            self._cpu_free_at = start + cpu
-            self.stats["cpu_time"] += cpu
-            delay = self._cpu_free_at - self.loop.now
-            if delay <= 0:
-                self.buffer.add(scaled, now=self.loop.now)
-            else:
-                self.loop.schedule(
-                    delay,
-                    lambda c=scaled: (self.buffer.add(c, now=self.loop.now),
-                                      self._kick()))
+        self.server.plane.submit(command, (self,))
+
+    def enqueue_prepared(self, command: Command,
+                         ready_at: float = 0.0) -> None:
+        """Buffer a prepared command once its CPU completion time passes.
+
+        Clamped to the session's pipe tail so adds stay in submission
+        order even when a cache hit is ready before earlier work.
+        """
+        ready = max(ready_at, self._pipe_tail)
+        self._pipe_tail = ready
+        if ready <= self.loop.now:
+            self._add_to_buffer(command)
+        else:
+            self.loop.schedule(ready - self.loop.now,
+                               lambda c=command: self._add_to_buffer(c))
+
+    def _add_to_buffer(self, command: Command) -> None:
+        self.buffer.add(command, now=self.loop.now)
         self._kick()
 
     def queue_control(self, message) -> None:
@@ -154,7 +174,7 @@ class THINCSession:
         # (latency-sensitive), then display commands in SRSF order.
         for fifo in (self._control, self._audio):
             while fifo and len(fifo[0]) <= writer.writable_bytes():
-                data = fifo.pop(0)
+                data = fifo.popleft()
                 writer.write(data)
                 self.stats["messages_sent"] += 1
                 self.stats["bytes_sent"] += len(data)
@@ -165,6 +185,28 @@ class THINCSession:
         if self.pending():
             self._flush_scheduled = True
             self.loop.schedule(FLUSH_INTERVAL, self._flush)
+
+    # -- instrumentation -----------------------------------------------------
+
+    def pipeline_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage counters for this session's half of the pipeline."""
+        bstats = self.buffer.stats
+        return {
+            "buffer": {
+                "commands_in": bstats["commands_in"],
+                "commands_out": bstats["commands_out"],
+                "bytes_out": bstats["bytes_out"],
+                "commands_split": bstats["commands_split"],
+                "queue_depth": self.buffer.pending_commands(),
+            },
+            "frame": self.frame_stage.stats.as_dict(),
+            "flush": {
+                "flush_periods": self.stats["flush_periods"],
+                "commands_out": self.stats["messages_sent"],
+                "bytes_out": self.stats["bytes_sent"],
+                "queue_depth": len(self._control) + len(self._audio),
+            },
+        }
 
     # -- client-to-server traffic ---------------------------------------------
 
@@ -185,7 +227,8 @@ class THINCServer:
                  merge: bool = True,
                  scheduler_factory: Callable[[], object] = SRSFScheduler,
                  encrypt_key: Optional[bytes] = None,
-                 cost_model: Optional[ServerCostModel] = None):
+                 cost_model: Optional[ServerCostModel] = None,
+                 prepare_cache_entries: int = 128):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -195,6 +238,9 @@ class THINCServer:
         self.encrypt_key = encrypt_key
         self.driver = THINCDriver(self, compress_raw=compress_raw,
                                   offscreen_awareness=offscreen_awareness)
+        self.translate = pipeline.TranslateStage()
+        self.plane = pipeline.PreparePlane(
+            loop, self.cost_model, cache_entries=prepare_cache_entries)
         self.sessions: List[THINCSession] = []
         # Callback invoked with (session, InputMessage) for every input
         # event a client sends; the testbed wires this to the window
@@ -211,13 +257,7 @@ class THINCServer:
         session = THINCSession(self, connection, viewport,
                                encrypt_key=self.encrypt_key)
         self.sessions.append(session)
-        screen = self.driver.screen_drawable
-        if screen is not None:
-            from ..protocol.commands import RawCommand
-
-            session.submit(RawCommand(
-                screen.bounds, screen.fb.read_pixels(screen.bounds),
-                compress=self.driver.compress_raw))
+        self._submit_refresh(session)
         # Active video streams need no replay: frames are self-contained
         # and the next one repaints the stream's destination.
         return session
@@ -225,18 +265,26 @@ class THINCServer:
     def detach_client(self, session: THINCSession) -> None:
         self.sessions.remove(session)
 
+    def _submit_refresh(self, session: THINCSession,
+                        rect: Optional[Rect] = None) -> None:
+        """Push current screen content for *rect* (whole screen when
+        None) to one session as a RAW update."""
+        screen = self.driver.screen_drawable
+        if screen is None:
+            return
+        rect = screen.bounds if rect is None else rect
+        session.submit(RawCommand(rect, screen.fb.read_pixels(rect),
+                                  compress=self.driver.compress_raw))
+
     # -- UpdateSink interface (called by THINCDriver) ------------------------------
 
     def submit(self, command: Command) -> None:
-        for session in self.sessions:
-            session.submit(command)
+        self.plane.submit(self.translate.admit(command), self.sessions)
 
     def video_setup(self, stream: VideoStreamInfo) -> None:
         for session in self.sessions:
             dst = stream.dst_rect
             if not session.scaler.identity:
-                from .resize import scale_rect
-
                 dst = scale_rect(dst, session.scaler.sx, session.scaler.sy)
             session.queue_control(wire.VideoSetupMessage(
                 stream.stream_id, stream.pixel_format,
@@ -246,8 +294,6 @@ class THINCServer:
         for session in self.sessions:
             dst = stream.dst_rect
             if not session.scaler.identity:
-                from .resize import scale_rect
-
                 dst = scale_rect(dst, session.scaler.sx, session.scaler.sy)
             session.queue_control(
                 wire.VideoMoveMessage(stream.stream_id, dst))
@@ -261,8 +307,6 @@ class THINCServer:
         for session in self.sessions:
             img, (hx, hy) = pixels, hotspot
             if not session.scaler.identity:
-                from .resize import resample
-
                 sx, sy = session.scaler.sx, session.scaler.sy
                 w = max(1, int(round(img.shape[1] * sx)))
                 h = max(1, int(round(img.shape[0] * sy)))
@@ -296,25 +340,14 @@ class THINCServer:
             # Push the content of the new view at its new resolution
             # ("the client ... requests updated content from the
             # server" when the display size increases).
-            screen = self.driver.screen_drawable
-            if screen is not None:
-                from ..protocol.commands import RawCommand
-
-                source = view or screen.bounds
-                session.submit(RawCommand(
-                    source, screen.fb.read_pixels(source),
-                    compress=self.driver.compress_raw))
+            self._submit_refresh(session, rect=view)
             return
         if isinstance(msg, wire.RefreshRequestMessage):
             screen = self.driver.screen_drawable
             if screen is not None:
                 rect = msg.rect.intersect(screen.bounds)
                 if rect:
-                    from ..protocol.commands import RawCommand
-
-                    session.submit(RawCommand(
-                        rect, screen.fb.read_pixels(rect),
-                        compress=self.driver.compress_raw))
+                    self._submit_refresh(session, rect=rect)
             return
         if isinstance(msg, wire.ResizeMessage):
             session.viewport = (msg.width, msg.height)
@@ -325,17 +358,48 @@ class THINCServer:
             # and a full-screen refresh (Section 6: "the client requests
             # updated content from the server").
             session.queue_control(wire.ScreenInitMessage(*session.viewport))
-            screen = self.driver.screen_drawable
-            if screen is not None:
-                from ..protocol.commands import RawCommand
-
-                session.submit(RawCommand(
-                    screen.bounds, screen.fb.read_pixels(screen.bounds),
-                    compress=self.driver.compress_raw))
+            self._submit_refresh(session)
         elif self.input_handler is not None:
             self.input_handler(session, msg)
 
     # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Headline server counters (CPU spent preparing, cache hit rate)."""
+        plane = self.plane.stats
+        return {
+            "cpu_time": plane.cpu_seconds,
+            "prepare_cache_hits": plane.cache_hits,
+            "prepare_cache_misses": plane.cache_misses,
+            "commands_translated": self.translate.stats.commands_in,
+        }
+
+    def pipeline_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage counters across the whole pipeline.
+
+        Shared stages (translate/scale/prepare) are reported directly;
+        per-session stages (buffer/frame/flush) are summed over attached
+        sessions, except queue depths which are point-in-time gauges.
+        """
+        stats: Dict[str, Dict[str, float]] = {
+            "translate": {
+                **self.translate.stats.as_dict(),
+                "driver_ops": self.driver.stats.get("driver_ops", 0),
+            },
+            "scale": self.plane.scale_stats.as_dict(),
+            "prepare": {
+                **self.plane.stats.as_dict(),
+                "cache_entries": self.plane.cache_size(),
+            },
+        }
+        for name in ("buffer", "frame", "flush"):
+            merged: Dict[str, float] = {}
+            for session in self.sessions:
+                for k, v in session.pipeline_stats()[name].items():
+                    merged[k] = merged.get(k, 0) + v
+            stats[name] = merged
+        return stats
 
     def pending(self) -> bool:
         return any(s.pending() for s in self.sessions)

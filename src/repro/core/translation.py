@@ -80,6 +80,7 @@ class THINCDriver(DisplayDriver):
         # client viewport change).
         self.screen_drawable: Optional[Drawable] = None
         self.stats = {
+            "driver_ops": 0,
             "onscreen_commands": 0,
             "offscreen_commands": 0,
             "replayed_commands": 0,
@@ -119,23 +120,28 @@ class THINCDriver(DisplayDriver):
 
     def solid_fill(self, drawable: Drawable, rect: Rect,
                    color: Color) -> None:
+        self.stats["driver_ops"] += 1
         self._emit(drawable, SFillCommand(rect, color))
 
     def pattern_fill(self, drawable: Drawable, rect: Rect,
                      tile: np.ndarray, origin: Tuple[int, int]) -> None:
+        self.stats["driver_ops"] += 1
         self._emit(drawable, PFillCommand(rect, tile, origin))
 
     def bitmap_fill(self, drawable: Drawable, rect: Rect, mask: np.ndarray,
                     fg: Color, bg: Optional[Color]) -> None:
+        self.stats["driver_ops"] += 1
         self._emit(drawable, BitmapCommand(rect, mask, fg, bg))
 
     def put_image(self, drawable: Drawable, rect: Rect,
                   pixels: np.ndarray) -> None:
+        self.stats["driver_ops"] += 1
         self._emit(drawable,
                    RawCommand(rect, pixels, compress=self.compress_raw))
 
     def composite(self, drawable: Drawable, rect: Rect,
                   pixels: np.ndarray, operator: str) -> None:
+        self.stats["driver_ops"] += 1
         if operator == "over":
             self._emit(drawable, CompositeCommand(rect, pixels))
         else:
@@ -146,6 +152,7 @@ class THINCDriver(DisplayDriver):
 
     def copy_area(self, src: Drawable, dst: Drawable, src_rect: Rect,
                   dst_x: int, dst_y: int) -> None:
+        self.stats["driver_ops"] += 1
         if src.onscreen and dst.onscreen:
             # Screen-to-screen: the client has the pixels; just COPY.
             self.screen_drawable = dst
@@ -206,6 +213,7 @@ class THINCDriver(DisplayDriver):
 
     def video_put(self, stream: VideoStreamInfo, yuv_planes: bytes,
                   dst_rect: Rect) -> None:
+        self.stats["driver_ops"] += 1
         self.sink.submit(VideoFrameCommand(
             stream.stream_id, dst_rect, stream.src_width,
             stream.src_height, yuv_planes, frame_no=stream.frames_put,

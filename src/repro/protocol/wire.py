@@ -36,12 +36,18 @@ __all__ = [
     "ResizeMessage",
     "ScreenInitMessage",
     "Message",
+    "FRAME_OVERHEAD",
     "frame_message",
     "parse_messages",
     "encode_message",
 ]
 
 _FRAME = struct.Struct(">BI")
+
+# Bytes the frame header adds around every message payload.  Exposed so
+# flush-time size arithmetic (repro.core.delivery) can never drift from
+# the actual framing format.
+FRAME_OVERHEAD = _FRAME.size
 
 # Message type ids 1..7 belong to display commands (commands.py).
 _VSETUP, _VMOVE, _VTEARDOWN = 16, 17, 18
