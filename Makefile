@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint ci bench figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze sanitize ci bench figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -14,8 +14,18 @@ lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
 	else echo "ruff not installed; skipping lint"; fi
 
-# What .github/workflows/ci.yml runs: lint gate + the tier-1 suite.
-ci: lint
+# THINC-specific invariants: thinclint AST rules + import layering.
+# Fails on any finding *or* any suppression inside src/repro.
+analyze:
+	PYTHONPATH=src $(PY) -m repro.analysis --list-suppressions
+
+# Tier-1 suite with every command queue self-checking its replay
+# invariants after each mutation (see docs/ANALYSIS.md).
+sanitize:
+	THINC_SANITIZE=1 PYTHONPATH=src $(PY) -m pytest -x -q
+
+# What .github/workflows/ci.yml runs: lint gates + the tier-1 suite.
+ci: lint analyze
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
 bench:

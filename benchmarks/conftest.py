@@ -10,8 +10,6 @@ frames -> 120) to keep the suite in CI-friendly time; the quantities
 measured are steady-state, and EXPERIMENTS.md records a full-size run.
 """
 
-import sys
-
 import pytest
 
 # Make the experiment result caches (repro.bench.experiments) effective

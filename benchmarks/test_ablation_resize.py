@@ -9,8 +9,7 @@ plus modelled client scaling) isolates the bandwidth and latency cost.
 from conftest import WEB_PAGES
 
 from repro.bench.platforms import CLIENT_RESIZE_COST
-from repro.bench.reporting import (format_mbytes, format_ms, format_pct,
-                                   format_table)
+from repro.bench.reporting import format_mbytes, format_ms, format_table
 from repro.bench.testbed import run_av_benchmark, run_web_benchmark
 from repro.net import PDA_80211G
 

@@ -41,8 +41,6 @@ def run_audio_only(name: str) -> float:
 
 
 def _audio_only_put(player):
-    original = player._put_frame
-
     def put(index):
         if index >= player.max_frames:
             player.audio.drain()

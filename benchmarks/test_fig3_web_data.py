@@ -11,9 +11,7 @@ than 2x while client-resize systems save nothing.
 
 from conftest import WEB_PAGES
 
-from repro.baselines import LocalPCModel
 from repro.bench.experiments import web_figures
-from repro.net import LAN_DESKTOP
 from repro.workloads.web import make_page_set
 
 
@@ -30,7 +28,6 @@ def test_fig3_web_data(benchmark, show):
     pda = "802.11g PDA"
 
     # Local PC most efficient of all platforms.
-    model = LocalPCModel()
     pages = make_page_set(count=WEB_PAGES)
     local = sum(p.content_bytes for p in pages) / len(pages)
     assert local < data("THINC", lan)

@@ -13,7 +13,6 @@ measure the same steady-state quantities in a few minutes.
 """
 
 import argparse
-import sys
 import time
 
 from repro.bench.experiments import (av_figures, fig4_web_remote,

@@ -1,0 +1,35 @@
+"""Repo-specific static analysis for the THINC reproduction.
+
+The paper states its correctness conditions in prose; this package
+checks them mechanically:
+
+* :mod:`repro.analysis.lint` — ``thinclint``, an AST linter with rules
+  derived from the paper's invariants (every protocol command declares
+  its overwrite class and queue-manipulation contract, no direct
+  framebuffer writes outside the display layer, no O(n) head drains on
+  hot paths, no hard-coded wire-format constants, no mutable default
+  arguments, no bare excepts).
+* :mod:`repro.analysis.layering` — an import checker enforcing the
+  translation architecture's dependency DAG (the machine-readable map
+  lives in :mod:`repro.analysis.layermap`).
+* :mod:`repro.analysis.sanitizer` — wiring for the opt-in runtime
+  command-queue sanitizer (``THINC_SANITIZE=1``) whose checks live in
+  :mod:`repro.core.sanitizer`, next to the queue it validates.
+
+Run everything with ``make analyze`` or ``python -m repro.analysis``;
+see ``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+"""
+
+from .findings import Finding, format_findings
+from .layering import check_layering
+from .lint import RULES, lint_path, lint_source
+
+__all__ = ["Finding", "format_findings", "RULES", "lint_source",
+           "lint_path", "check_layering", "run_all"]
+
+
+def run_all(root):
+    """Lint + layering over *root*; returns a sorted finding list."""
+    findings = list(lint_path(root))
+    findings.extend(check_layering(root))
+    return sorted(findings)

@@ -1,0 +1,83 @@
+"""CLI for the THINC invariant analyzer.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--lint-only | --layering-only]
+                             [--list-suppressions]
+
+With no paths, analyzes the installed ``repro`` package tree (which is
+``src/repro`` when run from a checkout).  Exits 1 when any finding is
+reported, 0 otherwise — this is what ``make analyze`` and the CI
+``analyze`` job run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .findings import format_findings
+from .layering import check_layering
+from .lint import find_suppressions, lint_path
+
+
+def _default_root() -> Path:
+    # .../src/repro/analysis/__main__.py -> .../src/repro
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="thinclint + layering checks for the THINC repo")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: the repro "
+                             "package tree)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--lint-only", action="store_true",
+                       help="run only the AST lint rules")
+    group.add_argument("--layering-only", action="store_true",
+                       help="run only the import-layering checker")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="also list every 'thinclint: skip' marker "
+                             "(the src/repro tree must have none)")
+    args = parser.parse_args(argv)
+
+    roots = args.paths or [_default_root()]
+    findings = []
+    suppressions = []
+    for root in roots:
+        if not root.exists():
+            print(f"error: {root} does not exist", file=sys.stderr)
+            return 2
+        if not args.layering_only:
+            findings.extend(lint_path(root))
+        if not args.lint_only:
+            findings.extend(check_layering(root))
+        if args.list_suppressions:
+            files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+            for path in files:
+                if "__pycache__" in path.parts:
+                    continue
+                for line, rules in find_suppressions(path.read_text()):
+                    which = ",".join(rules) if rules else "all"
+                    suppressions.append(f"{path}:{line}: suppresses {which}")
+
+    if findings:
+        print(format_findings(findings))
+    for line in suppressions:
+        print(line)
+    total = len(findings) + len(suppressions)
+    checked = ("lint" if args.lint_only
+               else "layering" if args.layering_only else "lint+layering")
+    print(f"repro.analysis ({checked}): {len(findings)} finding(s)"
+          + (f", {len(suppressions)} suppression(s)" if suppressions else ""),
+          file=sys.stderr)
+    # Suppressions count toward failure so a "clean" src/repro tree
+    # cannot hide silenced rules.
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The finding record shared by every analysis pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One analyzer diagnostic, pointing at file:line:col."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    lines: List[str] = [f.render() for f in sorted(findings)]
+    return "\n".join(lines)

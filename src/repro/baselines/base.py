@@ -27,8 +27,9 @@ paper measured the closed systems from network traces, and so do we.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -211,7 +212,7 @@ class _ServerCore:
     def __init__(self, loop: EventLoop, connection: Connection):
         self.loop = loop
         self.connection = connection
-        self._outbox: List[bytes] = []
+        self._outbox: Deque[bytes] = deque()
         self._flush_scheduled = False
         self.bytes_sent = 0
         self.server_cpu_time = 0.0
@@ -274,7 +275,7 @@ class _ServerCore:
                     self.bytes_sent += room
                 break
             writer.write(data)
-            self._outbox.pop(0)
+            self._outbox.popleft()
             self.bytes_sent += len(data)
         if self._outbox or self.has_pending():
             self._flush_scheduled = True

@@ -96,7 +96,6 @@ def price_x_command(command: AppCommand, server) -> Tuple[int, float]:
     if name == "video_put":
         # No XVideo over the wire: the player blits dst-sized RGB.
         npixels = rect.area
-        stream = server.ws.video_streams.get(command.payload)
         key = ("x", command.payload)
         sample = server.ws.screen.fb.read_pixels(rect)
         ratio = _video_cache.ratio(key, sample)

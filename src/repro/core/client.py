@@ -206,12 +206,9 @@ class THINCClient:
         The hardware cursor is an overlay — the framebuffer itself never
         contains it — so tests that want "what the user sees" ask here.
         """
-        from ..display.framebuffer import Framebuffer
-
         if self.fb is None:
             return None
-        view = Framebuffer(self.fb.width, self.fb.height)
-        view.data[:] = self.fb.data
+        view = self.fb.clone()
         if self.cursor_image is not None:
             from ..region import Rect
 

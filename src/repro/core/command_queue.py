@@ -26,6 +26,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..protocol.commands import Command, OverwriteClass
 from ..region import Rect, Region
+from . import sanitizer as _sanitizer
 
 __all__ = ["CommandQueue"]
 
@@ -35,6 +36,8 @@ class CommandQueue:
 
     def __init__(self, merge: bool = True):
         self.merge_enabled = merge
+        # Opt-in invariant checking (THINC_SANITIZE=1); None when off.
+        self._sanitizer = _sanitizer.for_queue(self)
         self._commands: List[Command] = []
         self._seq = itertools.count()
         # Union of all opaque destinations ever added: the part of the
@@ -84,6 +87,9 @@ class CommandQueue:
         """
         command.seq = next(self._seq)
         self.stats["added"] += 1
+        san = self._sanitizer
+        if san is not None:
+            san.before_mutation(self, command)
         opaque = command.opaque_region
         if not opaque.is_empty:
             self._evict_under(opaque, command)
@@ -96,6 +102,8 @@ class CommandQueue:
         if stored is None:
             self._commands.append(command)
             stored = command
+        if san is not None:
+            san.after_add(self, command, opaque)
         return stored
 
     def _evict_under(self, opaque: Region, newcomer: Command) -> None:
@@ -166,23 +174,50 @@ class CommandQueue:
 
     def drain(self) -> List[Command]:
         """Remove and return all commands in arrival order."""
+        san = self._sanitizer
+        if san is not None:
+            san.before_mutation(self)
         out = self._commands
         self._commands = []
+        if san is not None:
+            san.after_mutation(self, "drain")
         return out
 
     def remove(self, command: Command) -> None:
         """Remove a specific command instance (used after delivery)."""
+        san = self._sanitizer
+        if san is not None:
+            san.before_mutation(self)
         self._commands.remove(command)
+        if san is not None:
+            san.after_mutation(self, "remove")
 
     def replace(self, command: Command, replacement: Command) -> None:
-        """Swap a command for its unsent remainder in place."""
+        """Swap a command for its unsent remainder in place.
+
+        The remainder keeps the original's place in arrival order, so a
+        replacement that was not produced by ``Command.split`` (which
+        copies the metadata itself) inherits seq/realtime/floor here.
+        """
+        if replacement.seq == -1:
+            replacement.seq = command.seq
+            replacement.realtime = command.realtime
+            replacement.sched_floor = command.sched_floor
+        san = self._sanitizer
+        if san is not None:
+            san.before_mutation(self)
+            san.check_replace(self, command, replacement, "replace")
         idx = self._commands.index(command)
         self._commands[idx] = replacement
+        if san is not None:
+            san.after_mutation(self, "replace")
 
     def clear(self) -> None:
         self._commands = []
         self._opaque_cover = Region()
         self._tainted = Region()
+        if self._sanitizer is not None:
+            self._sanitizer.reset()
 
     # -- offscreen support (Section 4.1) -----------------------------------
 

@@ -26,6 +26,7 @@ from ..protocol.commands import (Command, CompositeCommand, RawCommand,
 from ..protocol.rc4 import RC4
 from ..region import Rect
 from . import pipeline
+from . import sanitizer as _sanitizer
 from .delivery import ClientBuffer
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
@@ -129,6 +130,7 @@ class THINCSession:
         """
         ready = max(ready_at, self._pipe_tail)
         self._pipe_tail = ready
+        _sanitizer.check_pipe_tail(self, ready)
         if ready <= self.loop.now:
             self._add_to_buffer(command)
         else:

@@ -204,6 +204,17 @@ class Framebuffer:
         clipped = self._clip(rect)
         return self._view(clipped).copy()
 
+    def clone(self) -> "Framebuffer":
+        """An independent same-size copy of this framebuffer's contents.
+
+        The sanctioned way for other layers to duplicate a framebuffer
+        (e.g. to composite an overlay for display) without touching the
+        backing array, which belongs to ``repro.display``.
+        """
+        out = Framebuffer(self.width, self.height)
+        np.copyto(out.data, self.data)
+        return out
+
     # -- comparison helpers (used heavily by integration tests) -----------
 
     def same_as(self, other: "Framebuffer") -> bool:

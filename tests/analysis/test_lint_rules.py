@@ -1,0 +1,162 @@
+"""Fixture tests for every thinclint rule: a snippet each rule must
+flag, and the idiomatic fix it must pass."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import (find_suppressions, lint_source,
+                                 module_name_for)
+
+# An arbitrary module outside the display and protocol packages.
+MOD = "repro.workloads.fixture"
+
+
+def rules_of(src, module=MOD, **kw):
+    return [f.rule for f in lint_source(textwrap.dedent(src), module, **kw)]
+
+
+class TestCommandContract:
+    def test_flags_missing_overwrite_semantics(self):
+        src = """
+        class PatternCommand(Command):
+            kind = "pattern"
+        """
+        findings = lint_source(textwrap.dedent(src), "repro.protocol.fixture")
+        assert [f.rule for f in findings] == ["THL001"]
+        assert "overwrite_class" in findings[0].message
+
+    def test_passes_full_contract(self):
+        src = """
+        class PatternCommand(Command):
+            kind = "pattern"
+            type_id = 99
+            overwrite_class = OverwriteClass.COMPLETE
+            def translated(self, dx, dy): ...
+            def clipped(self, rects): ...
+            def encode(self): ...
+            def decode(cls, payload): ...
+            def apply(self, fb): ...
+        """
+        assert rules_of(src, "repro.protocol.fixture") == []
+
+    def test_ignores_unrelated_classes(self):
+        assert rules_of("class Helper:\n    pass\n") == []
+
+
+class TestFramebufferWrite:
+    def test_flags_direct_data_store(self):
+        assert rules_of("fb.data[0, 0] = 255\n") == ["THL002"]
+
+    def test_flags_augmented_data_store(self):
+        assert rules_of("fb.data[y, x] += 1\n") == ["THL002"]
+
+    def test_flags_private_view_call(self):
+        assert rules_of("block = fb._view(rect)\n") == ["THL002"]
+
+    def test_allows_reads(self):
+        assert rules_of("value = fb.data[0, 0]\n") == []
+
+    def test_allows_writes_inside_display(self):
+        src = "fb.data[0, 0] = 255\n"
+        assert rules_of(src, "repro.display.fixture") == []
+
+
+class TestHeadDrain:
+    def test_flags_list_pop_zero(self):
+        assert rules_of("queue.pop(0)\n") == ["THL003"]
+
+    def test_flags_del_head(self):
+        assert rules_of("del queue[0]\n") == ["THL003"]
+
+    def test_allows_dict_pop_with_default(self):
+        assert rules_of("mapping.pop(0, None)\n") == []
+
+    def test_allows_tail_pop(self):
+        assert rules_of("queue.pop()\n") == []
+
+
+class TestWireConstant:
+    def test_flags_hardcoded_size(self):
+        assert rules_of("FRAME_OVERHEAD = 13\n") == ["THL004"]
+
+    def test_flags_literal_arithmetic(self):
+        assert rules_of("MSG_HEADER_BYTES = 1 + 4 + 8\n") == ["THL004"]
+
+    def test_allows_derived_size(self):
+        assert rules_of("FRAME_OVERHEAD = wire.FRAME_OVERHEAD\n") == []
+
+    def test_allows_definitions_inside_protocol(self):
+        src = "FRAME_OVERHEAD = 13\n"
+        assert rules_of(src, "repro.protocol.fixture") == []
+
+    def test_ignores_unrelated_constants(self):
+        assert rules_of("MAX_WINDOWS = 64\n") == []
+
+
+class TestMutableDefault:
+    def test_flags_list_literal(self):
+        assert rules_of("def f(items=[]): ...\n") == ["THL005"]
+
+    def test_flags_mutable_constructor(self):
+        assert rules_of("def f(area=Region()): ...\n") == ["THL005"]
+
+    def test_flags_lambda_default(self):
+        assert rules_of("f = lambda items={}: items\n") == ["THL005"]
+
+    def test_allows_none_default(self):
+        assert rules_of("def f(items=None): ...\n") == []
+
+    def test_allows_immutable_default(self):
+        assert rules_of("def f(n=4, name='x'): ...\n") == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        src = """
+        try:
+            work()
+        except:
+            pass
+        """
+        assert rules_of(src) == ["THL006"]
+
+    def test_allows_named_except(self):
+        src = """
+        try:
+            work()
+        except ValueError:
+            pass
+        """
+        assert rules_of(src) == []
+
+
+class TestSuppressions:
+    def test_skip_comment_suppresses_all_rules(self):
+        src = "queue.pop(0)  # thinclint: skip\n"
+        assert rules_of(src) == []
+
+    def test_targeted_skip_suppresses_only_named_rule(self):
+        src = "queue.pop(0)  # thinclint: skip=THL004\n"
+        assert rules_of(src) == ["THL003"]
+        assert rules_of("queue.pop(0)  # thinclint: skip=THL003\n") == []
+
+    def test_suppressions_can_be_ignored(self):
+        src = "queue.pop(0)  # thinclint: skip\n"
+        assert rules_of(src, honor_suppressions=False) == ["THL003"]
+
+    def test_find_suppressions_reports_markers(self):
+        src = ("a = 1  # thinclint: skip\n"
+               "b = 2\n"
+               "c = 3  # thinclint: skip=THL003,THL004\n")
+        assert find_suppressions(src) == [
+            (1, None), (3, ["THL003", "THL004"])]
+
+
+class TestModuleNames:
+    def test_strips_leading_source_dirs(self):
+        path = Path("src/repro/core/server.py")
+        assert module_name_for(path) == "repro.core.server"
+
+    def test_keeps_package_init(self):
+        path = Path("src/repro/bench/__init__.py")
+        assert module_name_for(path) == "repro.bench.__init__"

@@ -1,12 +1,10 @@
 """Tests for the baseline systems' encoders."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (Encoder, GoToMyPCEncoder, SunRayEncoder,
                              VncEncoder, quantize_8bit)
 from repro.baselines.sunray import SFILL_WIRE
-from repro.protocol import compression
 
 
 def flat(w, h, value=200):

@@ -1,13 +1,12 @@
 """Tests for the scrape/forward baseline server machinery."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (BaselineClient, ForwardServer, ScrapeServer,
                              VncEncoder, price_x_command)
 from repro.baselines.nx import NXPricer
 from repro.baselines.rdp import OrdersPricer
-from repro.display import WindowServer, solid_pixels
+from repro.display import WindowServer
 from repro.net import Connection, EventLoop, LinkParams, PacketMonitor
 from repro.region import Rect
 

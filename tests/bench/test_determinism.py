@@ -7,7 +7,7 @@ shape assertions in benchmarks/ stable.
 """
 
 from repro.bench.testbed import run_av_benchmark, run_web_benchmark
-from repro.net import EventLoop, LAN_DESKTOP, LinkParams, PacketMonitor
+from repro.net import LAN_DESKTOP, LinkParams
 from repro.video.stream import SyntheticVideoClip
 
 

@@ -46,8 +46,6 @@ class TestConfigTables:
 class TestCaching:
     def test_web_figures_cached_by_size(self):
         experiments._web_cache.clear()
-        a = experiments.web_figures.__wrapped__ if hasattr(
-            experiments.web_figures, "__wrapped__") else None
         # Two calls at the same size return the same object.
         first = experiments.web_figures(page_count=1)
         second = experiments.web_figures(page_count=1)

@@ -1,7 +1,5 @@
 """Tests for the Table 2 remote-site models."""
 
-import pytest
-
 from repro.bench.sites import (DEFAULT_WINDOW, PLANETLAB_WINDOW,
                                REMOTE_SITES, site_link)
 

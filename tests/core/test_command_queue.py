@@ -1,14 +1,12 @@
 """Tests for the command queue's eviction/merging/copy semantics."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CommandQueue
-from repro.display import Framebuffer, solid_pixels
-from repro.protocol import (BitmapCommand, CompositeCommand, PFillCommand,
-                            RawCommand, SFillCommand)
+from repro.display import Framebuffer
+from repro.protocol import BitmapCommand, RawCommand, SFillCommand
 from repro.region import Rect
 
 RED = (255, 0, 0, 255)

@@ -1,10 +1,8 @@
 """Tests for the client buffer: push delivery and non-blocking flush."""
 
 import numpy as np
-import pytest
 
 from repro.core import ClientBuffer
-from repro.core.scheduler import SRSFScheduler
 from repro.display import Framebuffer
 from repro.protocol import (BitmapCommand, CopyCommand, RawCommand,
                             SFillCommand, decode_command)

@@ -7,17 +7,14 @@ non-blocking partial flushes, offscreen replay, eviction and merging.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import THINCClient, THINCServer
 from repro.display import WindowServer, solid_pixels
-from repro.display.driver import InputEvent
 from repro.net import (Connection, EventLoop, LAN_DESKTOP, LinkParams,
                        PacketMonitor, WAN_DESKTOP)
 from repro.region import Rect
-from repro.video import yuv
 from repro.video.stream import SyntheticVideoClip
 
 RED = (255, 0, 0, 255)

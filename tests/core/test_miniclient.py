@@ -1,7 +1,6 @@
 """The minimal client must agree pixel-for-pixel with the full client."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ fallback where it does not (undescribed base, tainted blends).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -151,7 +151,6 @@ class TestPerCommandPolicy:
         assert len(out.yuv_bytes) < len(data) / 4
 
     def test_command_off_viewport_dropped(self):
-        scaler = DisplayScaler((1024, 768), (320, 240))
         # scale_rect clamps into the client viewport; a rect at the far
         # bottom-right still lands inside, so nothing is dropped here —
         # but a rect fully outside a *clipped* viewport is.

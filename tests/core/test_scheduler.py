@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import FIFOScheduler, SRSFScheduler
-from repro.protocol import RawCommand, SFillCommand
+from repro.protocol import RawCommand
 from repro.region import Rect
 
 RED = (255, 0, 0, 255)

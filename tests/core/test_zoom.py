@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import THINCClient, THINCServer
 from repro.core.resize import DisplayScaler
-from repro.display import WindowServer, solid_pixels
+from repro.display import WindowServer
 from repro.net import Connection, EventLoop, LAN_DESKTOP, PacketMonitor
 from repro.protocol.commands import SFillCommand
 from repro.region import Rect
@@ -87,7 +87,6 @@ class TestZoomProtocol:
         # A change inside the view arrives magnified 1:1...
         ws.fill_rect(ws.screen, Rect(8, 8, 8, 8), GREEN)
         # ...a change outside the view never travels.
-        before = mon.total_bytes("server->client")
         ws.fill_rect(ws.screen, Rect(100, 80, 16, 8), RED)
         loop.run_until_idle(max_time=5)
         assert tuple(client.fb.data[10, 10]) == GREEN

@@ -1,6 +1,5 @@
 """Tests for line rasterisation and the line drawing API."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -105,7 +104,7 @@ class TestServerAPI:
         assert "solid_fill" in driver.names()
 
     def test_draw_line_through_thinc_pixel_exact(self):
-        from repro.core import THINCClient, THINCServer
+        from repro.core import THINCServer
         from repro.net import Connection, EventLoop, LAN_DESKTOP
 
         loop = EventLoop()

@@ -1,7 +1,5 @@
 """Additional line-drawing coverage: widths, clips, polylines."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

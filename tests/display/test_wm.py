@@ -1,10 +1,9 @@
 """Tests for the stacking window manager."""
 
-import numpy as np
 import pytest
 
 from repro.display import WindowServer
-from repro.display.wm import TITLE_BAR_HEIGHT, WindowManager
+from repro.display.wm import WindowManager
 from repro.region import Rect
 
 CONTENT_A = (250, 200, 200, 255)
@@ -115,8 +114,8 @@ class TestMovement:
 
     def test_move_exposes_lower_window(self, rig):
         ws, wm = rig
-        below = wm.create_window("below", Rect(20, 20, 80, 60),
-                                 content_color=CONTENT_A)
+        wm.create_window("below", Rect(20, 20, 80, 60),
+                         content_color=CONTENT_A)
         above = wm.create_window("above", Rect(50, 40, 80, 60),
                                  content_color=CONTENT_B)
         wm.move_window(above, 60, 40)

@@ -1,7 +1,5 @@
 """Property tests for window-manager visibility invariants."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """The protocol spec must match the implementation exactly."""
 
-import pytest
-
 from repro.protocol import commands, spec, wire
 
 

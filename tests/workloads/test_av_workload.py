@@ -105,7 +105,7 @@ class TestTypingWorkload:
 class TestTerminalApp:
     def make(self):
         from repro.net import EventLoop
-        from repro.workloads.terminal import TerminalApp, LINE_HEIGHT
+        from repro.workloads.terminal import TerminalApp
 
         loop = EventLoop()
         ws = WindowServer(200, 120, driver=RecordingDriver(),

@@ -1,7 +1,6 @@
 """Tests for the web page-set generator and browser model."""
 
 import numpy as np
-import pytest
 
 from repro.display import RecordingDriver, WindowServer
 from repro.workloads.web import (PAGE_COUNT, WebBrowserApp, make_page_set,
