@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze sanitize ci bench figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze sanitize ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -28,7 +28,20 @@ sanitize:
 ci: lint analyze
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
+# Micro-performance harness: region ops, queue churn, and pipeline
+# throughput vs the pre-banded baselines.  Writes BENCH_PR3.json at the
+# repo root (see docs/PERF.md).
 bench:
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR3.json
+
+# CI smoke mode: small workloads, then schema-validate the report.
+bench-smoke:
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --quick --out bench-smoke.json
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --validate bench-smoke.json
+	rm -f bench-smoke.json
+
+# The pytest-benchmark figure timings (the pre-PR3 `make bench`).
+bench-figures:
 	pytest benchmarks/ --benchmark-only
 
 # Regenerate every evaluation figure at the fast default scale.

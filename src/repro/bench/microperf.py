@@ -1,0 +1,469 @@
+"""Persistent micro-performance harness (``make bench``).
+
+Times the three layers the PR-3 geometry/queue engine rebuilt and
+writes a machine-readable report (``BENCH_PR3.json`` at the repo root)
+that seeds the benchmark trajectory future PRs are gated on:
+
+* **region ops** — the banded :class:`repro.region.Region` against the
+  pre-banded :class:`repro.region.NaiveRegion` reference on identical
+  random workloads (union build-up, pairwise union/subtract/intersect,
+  overlap probing);
+* **queue churn** — the tile-indexed :class:`repro.core.CommandQueue`
+  against ``_LegacyQueue`` (a faithful replica of the pre-index
+  whole-queue-sweep hot path) on add-time eviction and the Section 4.1
+  queue-to-queue copy;
+* **pipeline throughput** — wall-clock end-to-end runs of the Fig-2
+  web and Fig-5 A/V workloads on the THINC platform, recorded as
+  trajectory numbers (no baseline pair — these move PR over PR).
+
+Run ``python -m repro.bench.microperf --quick`` for the CI smoke mode,
+and ``--validate PATH`` to schema-check an emitted report.  See
+``docs/PERF.md`` for how to read and refresh the ``BENCH_*.json``
+trail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.command_queue import CommandQueue
+from ..net import LAN_DESKTOP
+from ..protocol.commands import Command, OverwriteClass, SFillCommand
+from ..region import NaiveRegion, Rect, Region
+from .testbed import run_av_benchmark, run_web_benchmark
+
+__all__ = ["SCHEMA", "SCHEMA_VERSION", "run_suite", "validate_report",
+           "main"]
+
+SCHEMA = "thinc-microperf"
+SCHEMA_VERSION = 1
+
+# Workload sizes: (full, quick).
+_REGION_RECTS = (300, 60)
+_QUEUE_BASE_GRID = ((16, 12), (8, 6))      # base commands tiling the screen
+_QUEUE_OVERWRITES = (250, 50)
+_COPY_QUEUE_GRID = ((20, 15), (8, 6))
+_COPY_CALLS = (120, 24)
+_WEB_PAGES = (8, 2)
+_AV_FRAMES = (48, 10)
+_REPEATS = (5, 2)
+
+_SCREEN_W, _SCREEN_H = 1024, 768
+_SEED = 54
+
+
+# -- timing ----------------------------------------------------------------
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock seconds over *repeats* runs of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _pair(new_s: float, baseline_s: float) -> Dict[str, float]:
+    return {
+        "banded_s": new_s,
+        "baseline_s": baseline_s,
+        "speedup": baseline_s / new_s if new_s > 0 else float("inf"),
+    }
+
+
+# -- region workloads ------------------------------------------------------
+
+def _rect_cloud(rng: random.Random, count: int, max_side: int = 96
+                ) -> List[Rect]:
+    rects = []
+    for _ in range(count):
+        w = rng.randint(4, max_side)
+        h = rng.randint(4, max_side)
+        x = rng.randint(0, _SCREEN_W - w)
+        y = rng.randint(0, _SCREEN_H - h)
+        rects.append(Rect(x, y, w, h))
+    return rects
+
+
+def _build(impl, rects) -> object:
+    region = impl()
+    for r in rects:
+        region.add(r)
+    return region
+
+
+def _bench_region(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    count = _REGION_RECTS[quick]
+    rng = random.Random(_SEED)
+    rects_a = _rect_cloud(rng, count)
+    rects_b = _rect_cloud(rng, count)
+
+    out: Dict[str, Dict[str, float]] = {}
+    out["union_build"] = _pair(
+        _best_of(lambda: _build(Region, rects_a), repeats),
+        _best_of(lambda: _build(NaiveRegion, rects_a), repeats))
+
+    pairs = {}
+    for impl in (Region, NaiveRegion):
+        pairs[impl] = (_build(impl, rects_a), _build(impl, rects_b))
+
+    for name, op in (("union_pair", lambda a, b: a.union(b)),
+                     ("subtract_pair", lambda a, b: a.subtract(b)),
+                     ("intersect_pair", lambda a, b: a.intersect(b))):
+        out[name] = _pair(
+            _best_of(lambda op=op: op(*pairs[Region]), repeats),
+            _best_of(lambda op=op: op(*pairs[NaiveRegion]), repeats))
+
+    probes = _rect_cloud(rng, 64, max_side=48)
+
+    def _probe(impl):
+        a, b = pairs[impl]
+        hits = 0
+        for rect in probes:
+            if a.overlaps(impl.from_rect(rect)):
+                hits += 1
+        return hits + (1 if a.overlaps(b) else 0)
+
+    out["overlaps_pair"] = _pair(
+        _best_of(lambda: _probe(Region), repeats),
+        _best_of(lambda: _probe(NaiveRegion), repeats))
+    return out
+
+
+# -- queue workloads -------------------------------------------------------
+
+class _LegacyQueue:
+    """The pre-index CommandQueue hot path, preserved for comparison.
+
+    A faithful replica of the pre-PR3 implementation: every add sweeps
+    the whole command list with NaiveRegion arithmetic (the production
+    queue now consults the tile grid and banded regions instead).  Only
+    the methods the microbenches exercise are reproduced.
+    """
+
+    def __init__(self):
+        self._commands: List[Command] = []
+        self._seq = itertools.count()
+        self._opaque_cover = NaiveRegion()
+        self._tainted = NaiveRegion()
+
+    @staticmethod
+    def _opaque_of(command: Command) -> NaiveRegion:
+        if command.overwrite_class is OverwriteClass.TRANSPARENT:
+            return NaiveRegion()
+        return NaiveRegion.from_rect(command.dest)
+
+    def add(self, command: Command) -> Command:
+        command.seq = next(self._seq)
+        opaque = self._opaque_of(command)
+        if not opaque.is_empty:
+            self._evict_under(opaque, command)
+            self._opaque_cover = self._opaque_cover.union(opaque)
+        elif not self._opaque_cover.contains_rect(command.dest):
+            self._tainted.add(command.dest)
+        merged = self._try_merge_tail(command)
+        if merged is None:
+            self._commands.append(command)
+            merged = command
+        return merged
+
+    def _evict_under(self, opaque: NaiveRegion, newcomer: Command) -> None:
+        pinned = NaiveRegion()
+        own_src = getattr(newcomer, "src_rect", None)
+        if own_src is not None:
+            pinned.add(own_src)
+        for cmd in self._commands:
+            src = getattr(cmd, "src_rect", None)
+            if src is not None:
+                pinned.add(src)
+        if pinned:
+            opaque = opaque.subtract(pinned)
+            if opaque.is_empty:
+                return
+        kept: List[Command] = []
+        for cmd in self._commands:
+            if not opaque.overlaps_rect(cmd.dest):
+                kept.append(cmd)
+                continue
+            if cmd.overwrite_class is OverwriteClass.PARTIAL:
+                visible = NaiveRegion.from_rect(cmd.dest).subtract(opaque)
+                if visible.is_empty:
+                    continue
+                if visible.area == cmd.dest.area:
+                    kept.append(cmd)
+                    continue
+                fragments = cmd.clipped(list(visible))
+                for frag in fragments:
+                    frag.seq = cmd.seq
+                kept.extend(fragments)
+            else:
+                if not opaque.contains_rect(cmd.dest):
+                    kept.append(cmd)
+        self._commands = kept
+
+    def _try_merge_tail(self, command: Command) -> Optional[Command]:
+        if not self._commands:
+            return None
+        tail = self._commands[-1]
+        merged = tail.try_merge(command)
+        if merged is None:
+            return None
+        merged.seq = tail.seq
+        self._commands[-1] = merged
+        return merged
+
+    def commands_for_copy(self, src_rect: Rect, dx: int, dy: int
+                          ) -> List[Command]:
+        replay = NaiveRegion.from_rect(src_rect).subtract(
+            self.uncovered_region(src_rect))
+        if replay.is_empty:
+            return []
+        replay_rects = list(replay)
+        out: List[Command] = []
+        for cmd in self._commands:
+            if not cmd.dest.overlaps(src_rect):
+                continue
+            for part in cmd.clipped(replay_rects):
+                out.append(part.translated(dx, dy))
+        return out
+
+    def uncovered_region(self, src_rect: Rect) -> NaiveRegion:
+        missing = NaiveRegion.from_rect(src_rect).subtract(
+            self._opaque_cover)
+        return missing.union(self._tainted.intersect_rect(src_rect))
+
+
+def _grid_fills(cols: int, rows: int) -> List[SFillCommand]:
+    """A screen tiled by solid fills with per-tile colours (no merging)."""
+    tile_w = _SCREEN_W // cols
+    tile_h = _SCREEN_H // rows
+    cmds = []
+    for j in range(rows):
+        for i in range(cols):
+            color = (i % 251, j % 251, (i * 7 + j * 13) % 251, 255)
+            cmds.append(SFillCommand(
+                Rect(i * tile_w, j * tile_h, tile_w, tile_h), color))
+    return cmds
+
+
+def _bench_queue(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    cols, rows = _QUEUE_BASE_GRID[quick]
+    overwrite_count = _QUEUE_OVERWRITES[quick]
+    rng = random.Random(_SEED + 1)
+    overwrites = _rect_cloud(rng, overwrite_count, max_side=112)
+
+    def _churn(factory):
+        queue = factory()
+        for cmd in _grid_fills(cols, rows):
+            queue.add(cmd)
+        for k, rect in enumerate(overwrites):
+            queue.add(SFillCommand(rect, (k % 251, (k * 3) % 251, 17, 255)))
+        return queue
+
+    out: Dict[str, Dict[str, float]] = {}
+    out["evict_churn"] = _pair(
+        _best_of(lambda: _churn(CommandQueue), repeats),
+        _best_of(lambda: _churn(_LegacyQueue), repeats))
+
+    ccols, crows = _COPY_QUEUE_GRID[quick]
+    copy_calls = _COPY_CALLS[quick]
+    src_rects = _rect_cloud(random.Random(_SEED + 2), copy_calls,
+                            max_side=160)
+
+    def _copies(factory):
+        queue = factory()
+        for cmd in _grid_fills(ccols, crows):
+            queue.add(cmd)
+        total = 0
+        for rect in src_rects:
+            total += len(queue.commands_for_copy(rect, 13, 7))
+        return total
+
+    out["commands_for_copy"] = _pair(
+        _best_of(lambda: _copies(CommandQueue), repeats),
+        _best_of(lambda: _copies(_LegacyQueue), repeats))
+    return out
+
+
+# -- pipeline workloads ----------------------------------------------------
+
+def _bench_pipeline(quick: bool) -> Dict[str, Dict[str, float]]:
+    pages = _WEB_PAGES[quick]
+    start = time.perf_counter()
+    web = run_web_benchmark("THINC", LAN_DESKTOP,
+                            network_label="LAN Desktop", page_count=pages)
+    web_wall = time.perf_counter() - start
+
+    frames = _AV_FRAMES[quick]
+    start = time.perf_counter()
+    av = run_av_benchmark("THINC", LAN_DESKTOP,
+                          network_label="LAN Desktop", max_frames=frames)
+    av_wall = time.perf_counter() - start
+    return {
+        "fig2_web": {
+            "wall_s": web_wall,
+            "pages": float(pages),
+            "mean_latency_s": web.mean_latency,
+        },
+        "fig5_av": {
+            "wall_s": av_wall,
+            "frames": float(frames),
+            "av_quality": av.av_quality,
+        },
+    }
+
+
+# -- report ----------------------------------------------------------------
+
+def run_suite(quick: bool = False) -> Dict:
+    """Run every microbench and return the report dictionary."""
+    repeats = _REPEATS[quick]
+    report = {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "pr": "PR3",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "params": {
+            "region_rects": _REGION_RECTS[quick],
+            "queue_base_commands": (_QUEUE_BASE_GRID[quick][0]
+                                    * _QUEUE_BASE_GRID[quick][1]),
+            "queue_overwrites": _QUEUE_OVERWRITES[quick],
+            "copy_calls": _COPY_CALLS[quick],
+            "repeats": repeats,
+            "seed": _SEED,
+        },
+        "results": {
+            "region": _bench_region(quick, repeats),
+            "queue": _bench_queue(quick, repeats),
+            "pipeline": _bench_pipeline(quick),
+        },
+    }
+    return report
+
+
+_PAIRED = {
+    "region": ("union_build", "union_pair", "subtract_pair",
+               "intersect_pair", "overlaps_pair"),
+    "queue": ("evict_churn", "commands_for_copy"),
+}
+_PIPELINE_KEYS = {
+    "fig2_web": ("wall_s", "pages", "mean_latency_s"),
+    "fig5_av": ("wall_s", "frames", "av_quality"),
+}
+
+
+def validate_report(report) -> List[str]:
+    """Schema-check a microperf report; returns a list of problems."""
+    problems: List[str] = []
+
+    def _need(mapping, key, kind, where):
+        value = mapping.get(key) if isinstance(mapping, dict) else None
+        if not isinstance(value, kind) or isinstance(value, bool) != (
+                kind is bool):
+            problems.append(f"{where}.{key}: expected {kind.__name__}, "
+                            f"got {type(value).__name__}")
+            return None
+        return value
+
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema: expected {SCHEMA!r}")
+    if report.get("version") != SCHEMA_VERSION:
+        problems.append(f"version: expected {SCHEMA_VERSION}")
+    _need(report, "quick", bool, "report")
+    _need(report, "python", str, "report")
+    results = _need(report, "results", dict, "report")
+    if results is None:
+        return problems
+    for group, names in _PAIRED.items():
+        section = _need(results, group, dict, "results")
+        if section is None:
+            continue
+        for name in names:
+            entry = _need(section, name, dict, f"results.{group}")
+            if entry is None:
+                continue
+            for field in ("banded_s", "baseline_s", "speedup"):
+                value = _need(entry, field, (int, float),
+                              f"results.{group}.{name}")
+                if value is not None and value <= 0:
+                    problems.append(
+                        f"results.{group}.{name}.{field}: must be positive")
+    pipeline = _need(results, "pipeline", dict, "results")
+    if pipeline is not None:
+        for name, fields in _PIPELINE_KEYS.items():
+            entry = _need(pipeline, name, dict, "results.pipeline")
+            if entry is None:
+                continue
+            for field in fields:
+                _need(entry, field, (int, float),
+                      f"results.pipeline.{name}")
+    return problems
+
+
+def _summarize(report: Dict) -> str:
+    lines = []
+    results = report["results"]
+    for group in ("region", "queue"):
+        for name, entry in results[group].items():
+            lines.append(f"{group}.{name:<20} banded {entry['banded_s']:.5f}s"
+                         f"  baseline {entry['baseline_s']:.5f}s"
+                         f"  speedup {entry['speedup']:.1f}x")
+    for name, entry in results["pipeline"].items():
+        detail = ", ".join(f"{k}={v:.4g}" for k, v in entry.items()
+                           if k != "wall_s")
+        lines.append(f"pipeline.{name:<18} wall {entry['wall_s']:.2f}s"
+                     f"  ({detail})")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.microperf",
+        description="THINC micro-performance harness (see docs/PERF.md)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads for the CI smoke job")
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--validate", metavar="PATH",
+                        help="schema-check an existing report and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            report = json.load(handle)
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid {SCHEMA} v{SCHEMA_VERSION} report")
+        return 0
+
+    report = run_suite(quick=args.quick)
+    problems = validate_report(report)
+    if problems:  # a harness bug, not a perf regression
+        for problem in problems:
+            print(f"internal schema error: {problem}", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(_summarize(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,12 @@ ordering:
    evicted;
 4. **monotonic pipe tail** — per session, prepared commands reach the
    buffer stage in submission order even when a prepare-cache hit is
-   ready before earlier work (see ``repro.core.pipeline``).
+   ready before earlier work (see ``repro.core.pipeline``);
+5. **spatial-index coherence** — the queue's tile-grid index and
+   pinned-source map exactly mirror the queued commands after every
+   mutation (see ``CommandQueue.audit_structures``), so the indexed
+   eviction/copy fast paths can never silently diverge from the
+   whole-queue semantics they replaced.
 
 Pins are remembered across mutations (a COPY that pinned content may
 itself be delivered and removed later), so the stale-overlap check
@@ -200,6 +205,13 @@ class QueueSanitizer:
             opaque = cmd.opaque_region
             if not opaque.is_empty:
                 later_opaque = later_opaque.union(opaque)
+
+        # 5. Spatial-index coherence.
+        audit = getattr(queue, "audit_structures", None)
+        if audit is not None:
+            problem = audit()
+            if problem is not None:
+                raise SanitizerError(f"after {op}: {problem}")
 
     def check_replace(self, queue, command, replacement, op: str) -> None:
         """A replace must swap in a true remainder of the original."""

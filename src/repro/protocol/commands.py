@@ -53,6 +53,13 @@ Color = Tuple[int, int, int, int]
 
 _RECT = struct.Struct(">HHHH")
 _HEADER = struct.Struct(">BHHHH")  # type + rect
+# Per-command payload metadata, precompiled once at import.
+_RAW_META = struct.Struct(">BI")       # compressed flag + payload length
+_COPY_SRC = struct.Struct(">HH")       # src_x, src_y
+_PFILL_META = struct.Struct(">BBBB")   # tile h/w + relative origin
+_BOOL = struct.Struct(">B")
+_U32 = struct.Struct(">I")
+_VFRAME_META = struct.Struct(">HIBHHI")
 
 
 class OverwriteClass(Enum):
@@ -83,6 +90,12 @@ class Command:
         if dest.empty:
             raise ValueError(f"{type(self).__name__} needs a non-empty rect")
         self.dest = dest
+        # Memoized wire size.  Commands are immutable once built (clip,
+        # split and merge all create fresh instances), so the encoded
+        # size can only be computed once; the cache keeps SRSF queue
+        # placement and CommandQueue.total_wire_size from re-encoding
+        # per call.
+        self._wire_size: Optional[int] = None
         # Arrival sequence number; assigned when entering a CommandQueue.
         self.seq: int = -1
         # Real-time flag; set by the delivery layer near input events.
@@ -123,8 +136,11 @@ class Command:
     # -- delivery -----------------------------------------------------------
 
     def wire_size(self) -> int:
-        """Exact bytes this command occupies on the wire."""
-        return len(self.encode())
+        """Exact bytes this command occupies on the wire (memoized)."""
+        size = self._wire_size
+        if size is None:
+            size = self._wire_size = len(self.encode())
+        return size
 
     def split(self, max_bytes: int) -> Tuple["Command", Optional["Command"]]:
         """Break off a prefix of at most *max_bytes* for non-blocking
@@ -184,14 +200,20 @@ class RawCommand(Command):
         return self._payload
 
     def wire_size(self) -> int:
-        if self._payload is None and self._size_hint is not None:
-            return self._size_hint
-        return len(self.encode())
+        size = self._wire_size
+        if size is None:
+            if self._payload is None and self._size_hint is not None:
+                # Scheduling estimate for a split remainder; not cached,
+                # so the exact size takes over once the payload exists.
+                return self._size_hint
+            size = self._wire_size = len(self.encode())
+        return size
 
     def translated(self, dx: int, dy: int) -> "RawCommand":
         cmd = RawCommand(self.dest.translate(dx, dy), self.pixels,
                          self.compress)
         cmd._payload = self._payload
+        cmd._wire_size = self._wire_size
         return cmd
 
     def clipped(self, rects: Sequence[Rect]) -> List[Command]:
@@ -249,14 +271,14 @@ class RawCommand(Command):
     def encode(self) -> bytes:
         payload = self._encoded_payload()
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + struct.pack(">BI", int(self.compress), len(payload))
+                + _RAW_META.pack(int(self.compress), len(payload))
                 + payload)
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "RawCommand":
         rect, offset = _unpack_rect(data, offset)
-        compressed, length = struct.unpack_from(">BI", data, offset)
-        offset += 5
+        compressed, length = _RAW_META.unpack_from(data, offset)
+        offset += _RAW_META.size
         payload = data[offset : offset + length]
         if compressed:
             pixels = compression.png_decompress(payload)
@@ -328,12 +350,12 @@ class CopyCommand(Command):
 
     def encode(self) -> bytes:
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + struct.pack(">HH", self.src_x, self.src_y))
+                + _COPY_SRC.pack(self.src_x, self.src_y))
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "CopyCommand":
         rect, offset = _unpack_rect(data, offset)
-        sx, sy = struct.unpack_from(">HH", data, offset)
+        sx, sy = _COPY_SRC.unpack_from(data, offset)
         return cls(sx, sy, rect)
 
     def apply(self, fb) -> None:
@@ -437,14 +459,14 @@ class PFillCommand(Command):
         ox = (self.origin[0] - self.dest.x) % tw
         oy = (self.origin[1] - self.dest.y) % th
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + struct.pack(">BBBB", th, tw, oy, ox)
+                + _PFILL_META.pack(th, tw, oy, ox)
                 + self.tile.tobytes())
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "PFillCommand":
         rect, offset = _unpack_rect(data, offset)
-        th, tw, oy, ox = struct.unpack_from(">BBBB", data, offset)
-        offset += 4
+        th, tw, oy, ox = _PFILL_META.unpack_from(data, offset)
+        offset += _PFILL_META.size
         count = th * tw * 4
         tile = np.frombuffer(data[offset : offset + count],
                              dtype=np.uint8).reshape(th, tw, 4)
@@ -528,7 +550,7 @@ class BitmapCommand(Command):
         has_bg = self.bg is not None
         bg = self.bg if has_bg else (0, 0, 0, 0)
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + bytes(self.fg) + struct.pack(">B", int(has_bg))
+                + bytes(self.fg) + _BOOL.pack(int(has_bg))
                 + bytes(bg) + packed)
 
     @classmethod
@@ -579,6 +601,7 @@ class CompositeCommand(Command):
     def translated(self, dx: int, dy: int) -> "CompositeCommand":
         cmd = CompositeCommand(self.dest.translate(dx, dy), self.pixels)
         cmd._payload = self._payload
+        cmd._wire_size = self._wire_size
         return cmd
 
     def clipped(self, rects: Sequence[Rect]) -> List[Command]:
@@ -597,14 +620,14 @@ class CompositeCommand(Command):
     def encode(self) -> bytes:
         payload = self._encoded_payload()
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + struct.pack(">I", len(payload)) + payload)
+                + _U32.pack(len(payload)) + payload)
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "CompositeCommand":
         rect, offset = _unpack_rect(data, offset)
-        (length,) = struct.unpack_from(">I", data, offset)
-        pixels = compression.png_decompress(
-            data[offset + 4 : offset + 4 + length])
+        (length,) = _U32.unpack_from(data, offset)
+        start = offset + _U32.size
+        pixels = compression.png_decompress(data[start : start + length])
         cmd = cls(rect, pixels)
         return cmd
 
@@ -665,17 +688,17 @@ class VideoFrameCommand(Command):
     def encode(self) -> bytes:
         fmt_id = self.PIXEL_FORMATS.index(self.pixel_format)
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + struct.pack(">HIBHHI", self.stream_id, self.frame_no,
-                              fmt_id, self.src_width, self.src_height,
-                              len(self.yuv_bytes))
+                + _VFRAME_META.pack(self.stream_id, self.frame_no,
+                                    fmt_id, self.src_width, self.src_height,
+                                    len(self.yuv_bytes))
                 + self.yuv_bytes)
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "VideoFrameCommand":
         rect, offset = _unpack_rect(data, offset)
-        stream_id, frame_no, fmt_id, sw, sh, length = struct.unpack_from(
-            ">HIBHHI", data, offset)
-        offset += 15
+        stream_id, frame_no, fmt_id, sw, sh, length = (
+            _VFRAME_META.unpack_from(data, offset))
+        offset += _VFRAME_META.size
         return cls(stream_id, rect, sw, sh, data[offset : offset + length],
                    frame_no, cls.PIXEL_FORMATS[fmt_id])
 

@@ -44,6 +44,17 @@ __all__ = [
 
 _FRAME = struct.Struct(">BI")
 
+# Message payload formats, precompiled once at import so encode/decode
+# never re-parse a format string on the hot path.
+_VSETUP_HDR = struct.Struct(">HBHHHHHH")
+_VMOVE_BODY = struct.Struct(">HHHHH")
+_STREAM_ID = struct.Struct(">H")
+_TIMESTAMP = struct.Struct(">d")
+_INPUT_BODY = struct.Struct(">BHHd")
+_SIZE_PAIR = struct.Struct(">HH")
+_RECT_BODY = struct.Struct(">HHHH")
+_CURSOR_HDR = struct.Struct(">HHHH")
+
 # Bytes the frame header adds around every message payload.  Exposed so
 # flush-time size arithmetic (repro.core.delivery) can never drift from
 # the actual framing format.
@@ -76,15 +87,15 @@ class VideoSetupMessage:
 
     def encode_payload(self) -> bytes:
         fmt = self.pixel_format.encode("ascii")
-        return struct.pack(">HBHHHHHH", self.stream_id, len(fmt),
-                           self.src_width, self.src_height,
-                           *self.dst_rect.as_tuple()) + fmt
+        return _VSETUP_HDR.pack(self.stream_id, len(fmt),
+                                self.src_width, self.src_height,
+                                *self.dst_rect.as_tuple()) + fmt
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoSetupMessage":
-        sid, fmt_len, sw, sh, x, y, w, h = struct.unpack_from(
-            ">HBHHHHHH", data)
-        fmt = data[15 : 15 + fmt_len].decode("ascii")
+        sid, fmt_len, sw, sh, x, y, w, h = _VSETUP_HDR.unpack_from(data)
+        start = _VSETUP_HDR.size
+        fmt = data[start : start + fmt_len].decode("ascii")
         return cls(sid, fmt, sw, sh, Rect(x, y, w, h))
 
 
@@ -98,12 +109,12 @@ class VideoMoveMessage:
     type_id = _VMOVE
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HHHHH", self.stream_id,
-                           *self.dst_rect.as_tuple())
+        return _VMOVE_BODY.pack(self.stream_id,
+                                *self.dst_rect.as_tuple())
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoMoveMessage":
-        sid, x, y, w, h = struct.unpack_from(">HHHHH", data)
+        sid, x, y, w, h = _VMOVE_BODY.unpack_from(data)
         return cls(sid, Rect(x, y, w, h))
 
 
@@ -116,11 +127,11 @@ class VideoTeardownMessage:
     type_id = _VTEARDOWN
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">H", self.stream_id)
+        return _STREAM_ID.pack(self.stream_id)
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoTeardownMessage":
-        (sid,) = struct.unpack_from(">H", data)
+        (sid,) = _STREAM_ID.unpack_from(data)
         return cls(sid)
 
 
@@ -134,12 +145,12 @@ class AudioChunkMessage:
     type_id = _AUDIO
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">d", self.timestamp) + self.samples
+        return _TIMESTAMP.pack(self.timestamp) + self.samples
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "AudioChunkMessage":
-        (ts,) = struct.unpack_from(">d", data)
-        return cls(ts, data[8:])
+        (ts,) = _TIMESTAMP.unpack_from(data)
+        return cls(ts, data[_TIMESTAMP.size:])
 
 
 @dataclass(frozen=True)
@@ -155,11 +166,11 @@ class InputMessage:
 
     def encode_payload(self) -> bytes:
         kind_id = _INPUT_KINDS.index(self.kind)
-        return struct.pack(">BHHd", kind_id, self.x, self.y, self.time)
+        return _INPUT_BODY.pack(kind_id, self.x, self.y, self.time)
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "InputMessage":
-        kind_id, x, y, t = struct.unpack_from(">BHHd", data)
+        kind_id, x, y, t = _INPUT_BODY.unpack_from(data)
         if kind_id >= len(_INPUT_KINDS):
             raise ValueError(f"unknown input kind id {kind_id}")
         return cls(_INPUT_KINDS[kind_id], x, y, t)
@@ -175,11 +186,11 @@ class ResizeMessage:
     type_id = _RESIZE
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HH", self.width, self.height)
+        return _SIZE_PAIR.pack(self.width, self.height)
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ResizeMessage":
-        w, h = struct.unpack_from(">HH", data)
+        w, h = _SIZE_PAIR.unpack_from(data)
         return cls(w, h)
 
 
@@ -202,13 +213,14 @@ class CursorImageMessage:
             raise ValueError("cursor pixel payload does not match size")
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HHHH", self.hot_x, self.hot_y, self.width,
-                           self.height) + self.rgba
+        return _CURSOR_HDR.pack(self.hot_x, self.hot_y, self.width,
+                                self.height) + self.rgba
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "CursorImageMessage":
-        hx, hy, w, h = struct.unpack_from(">HHHH", data)
-        return cls(hx, hy, w, h, data[8 : 8 + w * h * 4])
+        hx, hy, w, h = _CURSOR_HDR.unpack_from(data)
+        start = _CURSOR_HDR.size
+        return cls(hx, hy, w, h, data[start : start + w * h * 4])
 
 
 @dataclass(frozen=True)
@@ -225,11 +237,11 @@ class RefreshRequestMessage:
     type_id = _REFRESH
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HHHH", *self.rect.as_tuple())
+        return _RECT_BODY.pack(*self.rect.as_tuple())
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "RefreshRequestMessage":
-        x, y, w, h = struct.unpack_from(">HHHH", data)
+        x, y, w, h = _RECT_BODY.unpack_from(data)
         return cls(Rect(x, y, w, h))
 
 
@@ -248,11 +260,11 @@ class ZoomRequestMessage:
     type_id = _ZOOM
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HHHH", *self.rect.as_tuple())
+        return _RECT_BODY.pack(*self.rect.as_tuple())
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ZoomRequestMessage":
-        x, y, w, h = struct.unpack_from(">HHHH", data)
+        x, y, w, h = _RECT_BODY.unpack_from(data)
         return cls(Rect(x, y, w, h))
 
 
@@ -266,11 +278,11 @@ class ScreenInitMessage:
     type_id = _SCREEN_INIT
 
     def encode_payload(self) -> bytes:
-        return struct.pack(">HH", self.width, self.height)
+        return _SIZE_PAIR.pack(self.width, self.height)
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ScreenInitMessage":
-        w, h = struct.unpack_from(">HH", data)
+        w, h = _SIZE_PAIR.unpack_from(data)
         return cls(w, h)
 
 

@@ -18,7 +18,7 @@ from typing import Iterator, List, Tuple
 __all__ = ["Rect", "EMPTY_RECT"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Rect:
     """An immutable, half-open, axis-aligned integer rectangle."""
 
