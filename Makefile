@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze sanitize ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze sanitize chaos ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -23,6 +23,18 @@ analyze:
 # invariants after each mutation (see docs/ANALYSIS.md).
 sanitize:
 	THINC_SANITIZE=1 PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Deterministic chaos suite: fault-injected transport + resilience
+# plane, run with the queue sanitizer armed at three fixed seeds
+# (each seed selects a different random fault schedule; any failure
+# replays exactly from its seed).  See docs/RESILIENCE.md.
+chaos:
+	@for seed in 11 23 47; do \
+	  echo "== chaos seed $$seed =="; \
+	  THINC_SANITIZE=1 THINC_CHAOS_SEED=$$seed PYTHONPATH=src \
+	  $(PY) -m pytest tests/net/test_faults.py \
+	    tests/core/test_resilience.py -x -q || exit 1; \
+	done
 
 # What .github/workflows/ci.yml runs: lint gates + the tier-1 suite.
 ci: lint analyze

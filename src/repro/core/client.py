@@ -17,6 +17,8 @@ Two features mirror the paper's experimental apparatus:
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -70,7 +72,12 @@ class AudioStats:
 class THINCClient:
     """Executes the THINC protocol against a local framebuffer."""
 
-    def __init__(self, loop: EventLoop, connection: Connection,
+    # Sanity cap on a frame's declared payload length: a corrupted
+    # header must raise a ProtocolError, not stall the parser forever
+    # waiting for gigabytes that will never arrive.
+    MAX_FRAME = 1 << 24
+
+    def __init__(self, loop: EventLoop, connection: Optional[Connection],
                  viewport: Optional[Tuple[int, int]] = None,
                  headless: bool = False,
                  decrypt_key: Optional[bytes] = None,
@@ -78,9 +85,17 @@ class THINCClient:
         self.loop = loop
         self.connection = connection
         self.headless = headless
+        self._decrypt_key = decrypt_key
         self.cipher = RC4(decrypt_key) if decrypt_key else None
         self.cost_model = cost_model or ClientCostModel()
-        self.parser = wire.StreamParser()
+        self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+        # Resilience state: highest CHECKED sequence applied (resync
+        # replay duplicates are skipped by it), and an optional hook a
+        # resilient wrapper sets to turn parse failures into reconnects
+        # instead of crashes.
+        self.last_applied_seq = 0
+        self._seq_barrier = False
+        self.on_protocol_error: Optional[callable] = None
         self.fb: Optional[Framebuffer] = None
         if viewport is not None:
             self.fb = Framebuffer(*viewport)
@@ -99,8 +114,37 @@ class THINCClient:
             "bytes_by_kind": {},
             "last_update_time": 0.0,
             "processing_time": 0.0,
+            "last_rx_time": 0.0,
+            "protocol_errors": 0,
+            "replay_skipped": 0,
+            "seq_gaps": 0,
         }
+        if connection is not None:
+            connection.down.connect(self._on_data)
+
+    # -- connection management -----------------------------------------------
+
+    def rebind(self, connection: Connection) -> None:
+        """Attach to a freshly dialled connection after a reconnect.
+
+        The old endpoint is neutralised (late in-flight segments must
+        not reach the new parser), parsing restarts clean, and the RC4
+        keystream restarts to mirror the server's re-key.  Framebuffer
+        and cursor state survive: the resync stream builds on it.
+        """
+        if self.connection is not None:
+            self.connection.down.disconnect()
+        self.connection = connection
+        self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+        if self._decrypt_key is not None:
+            self.cipher = RC4(self._decrypt_key)
         connection.down.connect(self._on_data)
+
+    def note_snapshot_resync(self) -> None:
+        """The server dropped its replay log (snapshot resync): the
+        next CHECKED sequence number is adopted without counting the
+        inherent discontinuity as a gap."""
+        self._seq_barrier = True
 
     # -- input injection (client -> server) ---------------------------------------
 
@@ -130,14 +174,48 @@ class THINCClient:
 
     def _on_data(self, chunk: bytes) -> None:
         self.stats["bytes_received"] += len(chunk)
+        self.stats["last_rx_time"] = self.loop.now
         if self.cipher is not None:
             chunk = self.cipher.process(chunk)
-        for msg in self.parser.feed(chunk):
-            self._handle(msg, len_hint=len(chunk))
+        try:
+            messages = self.parser.feed(chunk)
+            for msg in messages:
+                self._handle(msg, len_hint=len(chunk))
+        except (ValueError, KeyError, struct.error, zlib.error) as exc:
+            # A corrupted stream can fail anywhere in parse/decode.
+            # With a resilience hook installed the client reports the
+            # damage and expects a resync; without one this is a real
+            # bug and must surface.
+            if self.on_protocol_error is None:
+                raise
+            self.stats["protocol_errors"] += 1
+            self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+            self.on_protocol_error(exc)
 
     def _handle(self, msg, len_hint: int = 0) -> None:
+        if isinstance(msg, wire.CheckedFrame):
+            # Sequenced stream: skip anything already applied (resync
+            # replays overlap by design — duplicates are benign, which
+            # is what makes non-idempotent COPY safe to replay), and
+            # record gaps, which a correct server never produces.
+            if msg.seq <= self.last_applied_seq:
+                self.stats["replay_skipped"] += 1
+                return
+            if self._seq_barrier:
+                self._seq_barrier = False
+            elif self.last_applied_seq and \
+                    msg.seq > self.last_applied_seq + 1:
+                self.stats["seq_gaps"] += 1
+            self.last_applied_seq = msg.seq
+            msg = msg.message
         self.stats["messages"] += 1
         now = self.loop.now
+        if isinstance(msg, (wire.HeartbeatMessage,
+                            wire.ReconnectAcceptMessage,
+                            wire.ReconnectDeniedMessage)):
+            # Session-plane traffic; arrival time alone is the signal
+            # (a resilient wrapper tracks last_rx_time).
+            return
         if isinstance(msg, wire.ScreenInitMessage):
             if self.fb is None or (self.fb.width, self.fb.height) != (
                     msg.width, msg.height):

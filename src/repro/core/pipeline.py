@@ -200,7 +200,19 @@ class PreparePlane:
 
 
 class FrameStage:
-    """Stage 5 — per-session framing and (optional) RC4 encryption."""
+    """Stage 5 — per-session framing and (optional) RC4 encryption.
+
+    Framing and encryption are deliberately split: :meth:`frame`
+    produces *plaintext* framed bytes and :meth:`encrypt` is applied by
+    the session only at write time.  The flush path may frame a
+    command head and then discover it does not fit — with encryption
+    inside ``frame`` that consumed RC4 keystream for bytes that were
+    never sent, silently desynchronising the client's cipher.  Keeping
+    frames plain until the moment they hit the socket also lets the
+    resilience plane journal sent frames and re-encrypt them under a
+    fresh key after a reconnect.  RC4 is size-preserving, so all flush
+    size arithmetic is unaffected by the split.
+    """
 
     name = "frame"
 
@@ -209,10 +221,19 @@ class FrameStage:
         self.stats = StageStats()
 
     def frame(self, msg) -> bytes:
+        """Frame *msg* as plaintext wire bytes (no keystream consumed)."""
         data = wire.encode_message(msg)
-        if self.cipher is not None:
-            data = self.cipher.process(data)
         self.stats.commands_in += 1
         self.stats.commands_out += 1
         self.stats.bytes_out += len(data)
         return data
+
+    def encrypt(self, data: bytes) -> bytes:
+        """Apply the session cipher to bytes actually being written."""
+        if self.cipher is None:
+            return data
+        return self.cipher.process(data)
+
+    def rekey(self, cipher) -> None:
+        """Replace the cipher (a reconnect restarts both keystreams)."""
+        self.cipher = cipher

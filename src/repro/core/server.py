@@ -14,6 +14,8 @@ and commits as much as the non-blocking transport will take.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
@@ -35,6 +37,60 @@ from .translation import THINCDriver
 __all__ = ["THINCServer", "THINCSession", "ServerCostModel"]
 
 FLUSH_INTERVAL = 0.002  # seconds between flush periods while backlogged
+
+
+class _SessionWriter:
+    """The session's write-side proxy over the transport endpoint.
+
+    Three concerns live here rather than in the framing stage so they
+    happen only for bytes that actually reach the socket:
+
+    * **encryption** — frames are plaintext until written (framing a
+      split head that then fails the fit check must not consume RC4
+      keystream, and journaled frames must be re-encryptable under a
+      fresh key after a reconnect);
+    * **sequencing** — resilient sessions wrap every outgoing frame in
+      a CHECKED wrapper whose sequence number is assigned in *send*
+      order, so the client's cumulative ack and the replay log agree
+      byte-for-byte about what the client may have seen; and
+    * **journaling** — each wrapped plaintext frame is handed to the
+      resilience plane's per-session log before encryption.
+
+    ``writable_bytes`` subtracts the wrapper overhead so the flush
+    stage's size arithmetic keeps working unchanged.
+    """
+
+    def __init__(self, session: "THINCSession", sequenced: bool):
+        self.session = session
+        self.sequenced = sequenced
+        self.overhead = wire.CHECKED_OVERHEAD if sequenced else 0
+        self.last_seq = 0
+        self.total_bytes = 0
+
+    def _endpoint(self):
+        return self.session.connection.down
+
+    def writable_bytes(self) -> int:
+        return max(0, self._endpoint().writable_bytes() - self.overhead)
+
+    def write(self, data: bytes) -> None:
+        if self.sequenced:
+            self.last_seq += 1
+            data = wire.wrap_checked(data, self.last_seq)
+            if self.session.journal is not None:
+                self.session.journal(self.last_seq, data)
+        self.total_bytes += len(data)
+        self._endpoint().write(self.session.frame_stage.encrypt(data))
+
+    def write_prewrapped(self, data: bytes) -> None:
+        """Write an already-wrapped frame (resync replay): encrypt
+        only — it carries its original sequence number and is already
+        in the journal."""
+        self.total_bytes += len(data)
+        self._endpoint().write(self.session.frame_stage.encrypt(data))
+
+    def prewrapped_writable(self) -> int:
+        return self._endpoint().writable_bytes()
 
 
 class ServerCostModel:
@@ -72,13 +128,15 @@ class THINCSession:
     """
 
     def __init__(self, server: "THINCServer", connection: Connection,
-                 viewport=None, encrypt_key: Optional[bytes] = None):
+                 viewport=None, encrypt_key: Optional[bytes] = None,
+                 sequenced: bool = False):
         self.server = server
         self.connection = connection
         self.loop = server.loop
         self.viewport = viewport or (server.width, server.height)
         self.scaler = DisplayScaler((server.width, server.height),
                                     self.viewport)
+        self._encrypt_key = encrypt_key
         self.frame_stage = pipeline.FrameStage(
             RC4(encrypt_key) if encrypt_key else None)
         self.buffer = ClientBuffer(
@@ -86,6 +144,16 @@ class THINCSession:
             merge=server.merge,
             frame=self.frame_stage.frame,
         )
+        # Resilience state: a detached session buffers but does not
+        # flush; the plane sets ``journal`` to log sent frames, fills
+        # ``_replay`` on resync, and toggles degraded/shed flags.
+        self.sequenced = sequenced
+        self._writer = _SessionWriter(self, sequenced)
+        self.journal: Optional[Callable[[int, bytes], None]] = None
+        self.detached = False
+        self.degraded = False
+        self.shed_display = False
+        self._replay: Deque[bytes] = deque()
         self._control: Deque[bytes] = deque()
         self._audio: Deque[bytes] = deque()
         self._flush_scheduled = False
@@ -95,7 +163,8 @@ class THINCSession:
         # in submission order (see repro.core.pipeline module docs).
         self._pipe_tail = 0.0
         self.stats = {"messages_sent": 0, "bytes_sent": 0,
-                      "flush_periods": 0, "cpu_time": 0.0}
+                      "flush_periods": 0, "cpu_time": 0.0,
+                      "audio_dropped": 0, "display_shed": 0}
         connection.up.connect(self._on_client_data)
         self._parser = wire.StreamParser()
         self.queue_control(wire.ScreenInitMessage(*self.viewport))
@@ -138,6 +207,12 @@ class THINCSession:
                                lambda c=command: self._add_to_buffer(c))
 
     def _add_to_buffer(self, command: Command) -> None:
+        if self.shed_display:
+            # The detach window expired and the queue was dropped: the
+            # reconnect resync will be a snapshot of *current* content,
+            # so buffering more display work is pure waste.
+            self.stats["display_shed"] += 1
+            return
         self.buffer.add(command, now=self.loop.now)
         self._kick()
 
@@ -146,6 +221,12 @@ class THINCSession:
         self._kick()
 
     def queue_audio(self, timestamp: float, samples: bytes) -> None:
+        if self.detached or self.degraded:
+            # Audio is useless late: a detached client cannot hear it
+            # and a congested pipe should spend its bytes on display
+            # updates (graceful degradation sheds audio first).
+            self.stats["audio_dropped"] += 1
+            return
         self._audio.append(
             self._frame(wire.AudioChunkMessage(timestamp, samples)))
         self._kick()
@@ -160,33 +241,73 @@ class THINCSession:
     # -- flush machinery ----------------------------------------------------------
 
     def _kick(self) -> None:
+        if self.detached:
+            return  # rebind() re-kicks when a connection is back
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self.loop.schedule(0.0, self._flush)
 
     def pending(self) -> bool:
-        return bool(self._control or self._audio
+        return bool(self._replay or self._control or self._audio
                     or self.buffer.pending_commands())
 
     def _flush(self) -> None:
         self._flush_scheduled = False
+        if self.detached:
+            return  # no socket to write to; rebind() resumes flushing
         self.stats["flush_periods"] += 1
-        writer = self.connection.down
-        # Control messages first (tiny, order-sensitive), then audio
+        writer = self._writer
+        sent_before = writer.total_bytes
+        # Resync replay drains first (the client must catch up to the
+        # stream point before new frames make sense), then control
+        # messages (tiny, order-sensitive), then audio
         # (latency-sensitive), then display commands in SRSF order.
+        while self._replay and \
+                len(self._replay[0]) <= writer.prewrapped_writable():
+            writer.write_prewrapped(self._replay.popleft())
+            self.stats["messages_sent"] += 1
         for fifo in (self._control, self._audio):
+            if self._replay:
+                break
             while fifo and len(fifo[0]) <= writer.writable_bytes():
-                data = fifo.popleft()
-                writer.write(data)
+                writer.write(fifo.popleft())
                 self.stats["messages_sent"] += 1
-                self.stats["bytes_sent"] += len(data)
-        if not self._control:
+        if not self._replay and not self._control:
             result = self.buffer.flush(writer)
             self.stats["messages_sent"] += result.commands_sent
-            self.stats["bytes_sent"] += result.bytes_written
+        self.stats["bytes_sent"] += writer.total_bytes - sent_before
         if self.pending():
             self._flush_scheduled = True
             self.loop.schedule(FLUSH_INTERVAL, self._flush)
+
+    # -- resilience hooks (driven by repro.core.resilience) -------------------
+
+    def detach(self) -> None:
+        """The plane lost the client: stop flushing, keep absorbing.
+
+        The command queue keeps taking display updates (eviction keeps
+        it minimal — exactly the Section 4 replay invariant the resync
+        relies on); audio is shed; control messages are preserved.
+        """
+        self.detached = True
+
+    def rebind(self, connection: Connection) -> None:
+        """Bind this session to a freshly dialled connection.
+
+        The old endpoint's receiver is neutralised so late in-flight
+        segments cannot reach the new parser, the parser restarts
+        clean, and both sides restart their RC4 keystreams (the replay
+        log holds plaintext frames, re-encrypted on the way out).
+        """
+        if self.connection is not None:
+            self.connection.up.disconnect()
+        self.connection = connection
+        connection.up.connect(self._on_client_data)
+        self._parser = wire.StreamParser()
+        if self._encrypt_key is not None:
+            self.frame_stage.rekey(RC4(self._encrypt_key))
+        self.detached = False
+        self._kick()
 
     # -- instrumentation -----------------------------------------------------
 
@@ -216,8 +337,17 @@ class THINCSession:
         # Client->server traffic is not encrypted in this model (input
         # events only; the paper encrypts both ways but RC4 is
         # size-preserving so accounting is identical).
-        for msg in self._parser.feed(chunk):
-            self.server.handle_client_message(self, msg)
+        try:
+            for msg in self._parser.feed(chunk):
+                self.server.handle_client_message(self, msg)
+        except (ValueError, KeyError, struct.error, zlib.error):
+            # A resilient deployment shrugs off corrupted client
+            # traffic (heartbeats repeat; the liveness clock already
+            # advanced when the bytes arrived); without a plane a
+            # parse failure is a real bug and must surface.
+            if self.server.resilience is None:
+                raise
+            self._parser = wire.StreamParser()
 
 
 class THINCServer:
@@ -230,7 +360,8 @@ class THINCServer:
                  scheduler_factory: Callable[[], object] = SRSFScheduler,
                  encrypt_key: Optional[bytes] = None,
                  cost_model: Optional[ServerCostModel] = None,
-                 prepare_cache_entries: int = 128):
+                 prepare_cache_entries: int = 128,
+                 resilience=None):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -248,6 +379,14 @@ class THINCServer:
         # event a client sends; the testbed wires this to the window
         # server and the workload's think-time logic.
         self.input_handler: Optional[Callable] = None
+        # Session resilience plane (liveness, reconnect, resync); pass
+        # a ResilienceConfig to enable.  Clients then attach through
+        # ``server.resilience.accept`` instead of ``attach_client``.
+        if resilience is not None:
+            from .resilience import ResiliencePlane
+            self.resilience = ResiliencePlane(self, resilience)
+        else:
+            self.resilience = None
 
     # -- session management -----------------------------------------------------
 
@@ -256,27 +395,46 @@ class THINCServer:
         """Attach a client; a mid-session join receives the current
         screen contents (the mobility story: connect from any client,
         resume the same persistent session)."""
-        session = THINCSession(self, connection, viewport,
-                               encrypt_key=self.encrypt_key)
-        self.sessions.append(session)
-        self._submit_refresh(session)
         # Active video streams need no replay: frames are self-contained
         # and the next one repaints the stream's destination.
+        return self._make_session(connection, viewport)
+
+    def _make_session(self, connection: Connection, viewport=None,
+                      sequenced: bool = False) -> THINCSession:
+        session = THINCSession(self, connection, viewport,
+                               encrypt_key=self.encrypt_key,
+                               sequenced=sequenced)
+        self.sessions.append(session)
+        self._submit_refresh(session)
         return session
 
     def detach_client(self, session: THINCSession) -> None:
         self.sessions.remove(session)
 
     def _submit_refresh(self, session: THINCSession,
-                        rect: Optional[Rect] = None) -> None:
+                        rect: Optional[Rect] = None,
+                        chunk_rows: Optional[int] = None) -> None:
         """Push current screen content for *rect* (whole screen when
-        None) to one session as a RAW update."""
+        None) to one session as a RAW update.
+
+        ``chunk_rows`` splits the refresh into row bands of at most
+        that height — the snapshot resync path uses it so a recovering
+        client never faces one monolithic frame that cannot squeeze
+        through a congested pipe's flush budget.
+        """
         screen = self.driver.screen_drawable
         if screen is None:
             return
         rect = screen.bounds if rect is None else rect
-        session.submit(RawCommand(rect, screen.fb.read_pixels(rect),
-                                  compress=self.driver.compress_raw))
+        if chunk_rows is None or rect.height <= chunk_rows:
+            session.submit(RawCommand(rect, screen.fb.read_pixels(rect),
+                                      compress=self.driver.compress_raw))
+            return
+        bottom = rect.y + rect.height
+        for y in range(rect.y, bottom, chunk_rows):
+            band = Rect(rect.x, y, rect.width, min(chunk_rows, bottom - y))
+            session.submit(RawCommand(band, screen.fb.read_pixels(band),
+                                      compress=self.driver.compress_raw))
 
     # -- UpdateSink interface (called by THINCDriver) ------------------------------
 
@@ -331,6 +489,9 @@ class THINCServer:
     # -- upstream traffic ------------------------------------------------------------
 
     def handle_client_message(self, session: THINCSession, msg) -> None:
+        if self.resilience is not None and \
+                self.resilience.handle_session_message(session, msg):
+            return
         if isinstance(msg, wire.ZoomRequestMessage):
             view = msg.rect.intersect(
                 Rect(0, 0, self.width, self.height))

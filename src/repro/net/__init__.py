@@ -1,6 +1,9 @@
-"""Discrete-event network simulation: clock, links, transport, monitor."""
+"""Discrete-event network simulation: clock, links, transport, faults."""
 
 from .clock import EventLoop, SimClock
+from .faults import (Corruption, Disconnect, FaultPlan, FaultyConnection,
+                     FaultyEndpoint, LossBurst, Partition, Stall,
+                     dial_factory)
 from .link import (LAN_DESKTOP, MSS, NETWORK_CONFIGS, PDA_80211G,
                    WAN_DESKTOP, LinkParams)
 from .monitor import PacketMonitor, PacketRecord
@@ -19,4 +22,13 @@ __all__ = [
     "Endpoint",
     "PacketMonitor",
     "PacketRecord",
+    "FaultPlan",
+    "LossBurst",
+    "Stall",
+    "Partition",
+    "Disconnect",
+    "Corruption",
+    "FaultyEndpoint",
+    "FaultyConnection",
+    "dial_factory",
 ]

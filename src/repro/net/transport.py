@@ -22,6 +22,7 @@ realistic trace for slow-motion benchmarking.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Optional
 
 from .clock import EventLoop
@@ -51,11 +52,17 @@ class Endpoint:
         self._deliver_free_at = 0.0  # in-order delivery horizon
         self._pump_scheduled = False
         self._receiver: Optional[Receiver] = None
+        self.closed = False
         self.bytes_sent = 0
         self.segments_sent = 0
         self.segments_lost = 0
-        # Deterministic loss process per endpoint/direction.
-        self._loss_rng = random.Random(hash((label, link.name)) & 0xFFFF)
+        self.bytes_dropped_closed = 0
+        # Deterministic loss process per endpoint/direction.  Seeded
+        # from a stable digest: ``hash()`` of a string is randomised
+        # per process (PYTHONHASHSEED), which would make the "same"
+        # simulation lose different segments on every run.
+        self._loss_rng = random.Random(
+            zlib.crc32(f"{label}|{link.name}".encode("utf-8")) & 0xFFFF)
 
     # -- wiring -----------------------------------------------------------
 
@@ -63,14 +70,41 @@ class Endpoint:
         """Register the function that receives delivered segments."""
         self._receiver = receiver
 
+    def disconnect(self) -> None:
+        """Detach the receiver: delivered segments fall on the floor.
+
+        Used when a session or client rebinds to a new connection; the
+        abandoned endpoint may still have segments in flight, and those
+        must not reach the new parser.
+        """
+        self._receiver = None
+
+    def close(self) -> None:
+        """Model an abrupt socket loss for this direction.
+
+        Buffered and in-flight bytes are lost, nothing is delivered or
+        acked any more, and the endpoint stops accepting writes
+        (``writable_bytes`` reports 0, so well-behaved flush code sees
+        permanent back-pressure rather than an exception).
+        """
+        self.closed = True
+        self._buffer.clear()
+
     # -- sender API (non-blocking socket model) ------------------------------
 
     def writable_bytes(self) -> int:
         """How many bytes a write may currently enqueue without blocking."""
+        if self.closed:
+            return 0
         return max(0, self.send_buffer_limit - len(self._buffer))
 
     def write(self, data: bytes) -> None:
         """Enqueue bytes; raises if the caller ignored writable_bytes()."""
+        if self.closed:
+            # A dead socket swallows the write; the missing ack stream
+            # is what the sender eventually notices.
+            self.bytes_dropped_closed += len(data)
+            return
         if len(data) > self.writable_bytes():
             raise BlockingIOError(
                 f"{self.label}: write of {len(data)} bytes exceeds buffer "
@@ -122,6 +156,8 @@ class Endpoint:
         # If window-blocked, the ack path will reschedule us.
 
     def _deliver(self, segment: bytes) -> None:
+        if self.closed:
+            return
         if self.monitor is not None:
             self.monitor.record(self.loop.now, self.label, len(segment))
         if self._receiver is not None:
@@ -143,15 +179,29 @@ class Connection:
                  send_buffer: Optional[int] = None):
         self.loop = loop
         self.link = link
-        self.down = Endpoint(loop, link, "server->client", monitor,
-                             send_buffer)
-        self.up = Endpoint(loop, link, "client->server", monitor,
-                           send_buffer)
+        self.down = self._make_endpoint(loop, link, "server->client",
+                                        monitor, send_buffer)
+        self.up = self._make_endpoint(loop, link, "client->server",
+                                      monitor, send_buffer)
+
+    def _make_endpoint(self, loop: EventLoop, link: LinkParams, label: str,
+                       monitor, send_buffer: Optional[int]) -> Endpoint:
+        """Endpoint factory; subclasses substitute instrumented ones."""
+        return Endpoint(loop, link, label, monitor, send_buffer)
 
     def connect(self, client_receiver: Receiver,
                 server_receiver: Receiver) -> None:
         self.down.connect(client_receiver)
         self.up.connect(server_receiver)
+
+    def close(self) -> None:
+        """Abruptly drop the connection in both directions."""
+        self.down.close()
+        self.up.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.down.closed or self.up.closed
 
     def idle(self) -> bool:
         """True when both directions have nothing queued or in flight."""

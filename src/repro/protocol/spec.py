@@ -132,6 +132,43 @@ PROTOCOL_SPEC: List[MessageSpec] = [
         "subsequent updates and pushes a refresh of the view.",
         "rect[4xu16]",
         _wire.ZoomRequestMessage),
+    MessageSpec(
+        "CHECKED", 26, "s->c", "(extension: resilience)",
+        "Integrity-checked wrapper around one framed message: CRC-32 "
+        "over seq+inner turns wire corruption into a typed checksum "
+        "error (resync, not crash); the per-session sequence number "
+        "drives cumulative acks and duplicate-skip after resync. Only "
+        "resilient sessions emit it, so old streams parse unchanged.",
+        "crc32[u32] seq[u32] inner[framed message]",
+        _wire.CheckedFrame),
+    MessageSpec(
+        "HEARTBEAT", 27, "c->s", "(extension: resilience)",
+        "Periodic liveness beacon; last_seq is the highest CHECKED "
+        "sequence applied (a cumulative ack pruning the server's "
+        "replay log). Either side may send it; the reference client "
+        "does.",
+        "last_seq[u32] time[f64]",
+        _wire.HeartbeatMessage),
+    MessageSpec(
+        "RECONNECT_REQ", 28, "c->s", "(extension: resilience)",
+        "First message on a dialled connection: resume session <token> "
+        "(0 = fresh attach) from CHECKED sequence last_seq.",
+        "token[u32] last_seq[u32]",
+        _wire.ReconnectRequestMessage),
+    MessageSpec(
+        "RECONNECT_ACCEPT", 29, "s->c", "(extension: resilience)",
+        "Plane accepts the attach/reconnect and announces the resync "
+        "mode (0 fresh, 1 replay of unacked frames, 2 region-chunked "
+        "RAW snapshot); sent in the clear before the re-keyed session "
+        "stream begins.",
+        "token[u32] resync[u8]",
+        _wire.ReconnectAcceptMessage),
+    MessageSpec(
+        "RECONNECT_DENIED", 30, "s->c", "(extension: resilience)",
+        "Reconnect backoff push-back: retry no sooner than "
+        "retry_after seconds from now.",
+        "retry_after[f64]",
+        _wire.ReconnectDeniedMessage),
 ]
 
 

@@ -17,8 +17,9 @@ server-side scaling (Section 6), and the initial screen geometry.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from ..region import Rect
 from .commands import Command, decode_command
@@ -35,12 +36,40 @@ __all__ = [
     "InputMessage",
     "ResizeMessage",
     "ScreenInitMessage",
+    "CheckedFrame",
+    "HeartbeatMessage",
+    "ReconnectRequestMessage",
+    "ReconnectAcceptMessage",
+    "ReconnectDeniedMessage",
+    "ProtocolError",
+    "ChecksumError",
     "Message",
     "FRAME_OVERHEAD",
+    "CHECKED_OVERHEAD",
+    "RESYNC_FRESH",
+    "RESYNC_REPLAY",
+    "RESYNC_SNAPSHOT",
     "frame_message",
     "parse_messages",
     "encode_message",
+    "wrap_checked",
 ]
+
+
+class ProtocolError(ValueError):
+    """A malformed or inconsistent protocol stream.
+
+    Subclasses :class:`ValueError` so generic stream-robustness code
+    (and the fuzz suite) treats it like any other parse failure, while
+    resilience-aware receivers can catch it specifically and trigger a
+    resync instead of crashing.
+    """
+
+
+class ChecksumError(ProtocolError):
+    """A CHECKED frame whose payload fails its CRC — corruption on the
+    wire reached the parser."""
+
 
 _FRAME = struct.Struct(">BI")
 
@@ -69,8 +98,29 @@ _SCREEN_INIT = 22
 _CURSOR_IMAGE = 23
 _REFRESH = 24
 _ZOOM = 25
+_CHECKED = 26
+_HEARTBEAT = 27
+_RECONNECT_REQ = 28
+_RECONNECT_ACCEPT = 29
+_RECONNECT_DENIED = 30
 
 _INPUT_KINDS = ("mouse-move", "mouse-click", "key")
+
+# CHECKED frame payload prefix and resilience message bodies.
+_U32 = struct.Struct(">I")
+_HEARTBEAT_BODY = struct.Struct(">Id")
+_RECONNECT_BODY = struct.Struct(">II")
+_ACCEPT_BODY = struct.Struct(">IB")
+_DENIED_BODY = struct.Struct(">d")
+
+# Extra bytes a CHECKED wrapper adds around an already-framed message:
+# its own [type u8][len u32] header plus crc32[u32] and seq[u32].
+CHECKED_OVERHEAD = _FRAME.size + 2 * _U32.size
+
+# Resync kinds carried by ReconnectAcceptMessage.
+RESYNC_FRESH = 0  # brand-new session: full state follows anyway
+RESYNC_REPLAY = 1  # unacked frames replayed from the session log
+RESYNC_SNAPSHOT = 2  # log/queue was dropped: region-chunked RAW refresh
 
 
 @dataclass(frozen=True)
@@ -286,17 +336,144 @@ class ScreenInitMessage:
         return cls(w, h)
 
 
+@dataclass(frozen=True)
+class CheckedFrame:
+    """An integrity-checked wrapper around one framed message.
+
+    Resilient sessions wrap every server-to-client message in a CHECKED
+    frame carrying a CRC-32 of the body and a per-session sequence
+    number.  The checksum turns wire corruption into a typed
+    :class:`ChecksumError` (triggering resync, not a crash); the
+    sequence number lets the client ack progress and skip duplicates
+    replayed after a reconnect.  Negotiation is implicit: only sessions
+    accepted through the resilience plane emit CHECKED frames, and the
+    parser handles wrapped and bare streams alike — old streams still
+    parse unchanged.
+    """
+
+    seq: int
+    message: "Message"
+
+    type_id = _CHECKED
+
+    def encode_payload(self) -> bytes:
+        body = _U32.pack(self.seq) + encode_message(self.message)
+        return _U32.pack(zlib.crc32(body) & 0xFFFFFFFF) + body
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "CheckedFrame":
+        if len(data) < 2 * _U32.size:
+            raise ProtocolError("truncated CHECKED frame")
+        (crc,) = _U32.unpack_from(data)
+        body = data[_U32.size:]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise ChecksumError(
+                f"CHECKED frame failed CRC over {len(body)} bytes")
+        (seq,) = _U32.unpack_from(body)
+        inner = parse_messages(body[_U32.size:])
+        if len(inner) != 1:
+            raise ProtocolError(
+                f"CHECKED frame wraps {len(inner)} messages, expected 1")
+        return cls(seq, inner[0])
+
+
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """Periodic liveness beacon carrying a cumulative ack.
+
+    ``last_seq`` is the highest CHECKED sequence number the sender has
+    applied (0 when none); the server uses it to prune its replay log.
+    ``time`` is the sender's clock, for diagnostics.
+    """
+
+    last_seq: int
+    time: float
+
+    type_id = _HEARTBEAT
+
+    def encode_payload(self) -> bytes:
+        return _HEARTBEAT_BODY.pack(self.last_seq, self.time)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "HeartbeatMessage":
+        last_seq, t = _HEARTBEAT_BODY.unpack_from(data)
+        return cls(last_seq, t)
+
+
+@dataclass(frozen=True)
+class ReconnectRequestMessage:
+    """First message on a dialled connection to the resilience plane.
+
+    ``token`` identifies the session to resume (0 requests a fresh
+    session); ``last_seq`` is the highest CHECKED sequence the client
+    applied, from which the server picks the resync starting point.
+    """
+
+    token: int
+    last_seq: int
+
+    type_id = _RECONNECT_REQ
+
+    def encode_payload(self) -> bytes:
+        return _RECONNECT_BODY.pack(self.token, self.last_seq)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ReconnectRequestMessage":
+        token, last_seq = _RECONNECT_BODY.unpack_from(data)
+        return cls(token, last_seq)
+
+
+@dataclass(frozen=True)
+class ReconnectAcceptMessage:
+    """The plane accepts an attach/reconnect; sent in the clear before
+    the (possibly re-keyed) session stream starts."""
+
+    token: int
+    resync: int  # RESYNC_FRESH / RESYNC_REPLAY / RESYNC_SNAPSHOT
+
+    type_id = _RECONNECT_ACCEPT
+
+    def encode_payload(self) -> bytes:
+        return _ACCEPT_BODY.pack(self.token, self.resync)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ReconnectAcceptMessage":
+        token, resync = _ACCEPT_BODY.unpack_from(data)
+        return cls(token, resync)
+
+
+@dataclass(frozen=True)
+class ReconnectDeniedMessage:
+    """Backoff push-back: try again no sooner than ``retry_after``."""
+
+    retry_after: float
+
+    type_id = _RECONNECT_DENIED
+
+    def encode_payload(self) -> bytes:
+        return _DENIED_BODY.pack(self.retry_after)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ReconnectDeniedMessage":
+        (retry_after,) = _DENIED_BODY.unpack_from(data)
+        return cls(retry_after)
+
+
 _CONTROL_TYPES = {
     cls.type_id: cls
     for cls in (VideoSetupMessage, VideoMoveMessage, VideoTeardownMessage,
                 AudioChunkMessage, InputMessage, ResizeMessage,
                 ScreenInitMessage, CursorImageMessage,
-                RefreshRequestMessage, ZoomRequestMessage)
+                RefreshRequestMessage, ZoomRequestMessage,
+                CheckedFrame, HeartbeatMessage, ReconnectRequestMessage,
+                ReconnectAcceptMessage, ReconnectDeniedMessage)
 }
 
 Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
                 VideoTeardownMessage, AudioChunkMessage, InputMessage,
-                ResizeMessage, ScreenInitMessage]
+                ResizeMessage, ScreenInitMessage, CheckedFrame,
+                HeartbeatMessage, ReconnectRequestMessage,
+                ReconnectAcceptMessage, ReconnectDeniedMessage]
 
 
 def encode_message(msg: Message) -> bytes:
@@ -310,6 +487,18 @@ def encode_message(msg: Message) -> bytes:
 
 def frame_message(type_id: int, payload: bytes) -> bytes:
     return _FRAME.pack(type_id, len(payload)) + payload
+
+
+def wrap_checked(framed: bytes, seq: int) -> bytes:
+    """Wrap one already-framed message in a CHECKED frame.
+
+    Byte-identical to ``encode_message(CheckedFrame(seq, msg))`` when
+    *framed* is ``encode_message(msg)``, but avoids re-encoding on the
+    send path where the framed bytes already exist.
+    """
+    body = _U32.pack(seq) + framed
+    return frame_message(
+        _CHECKED, _U32.pack(zlib.crc32(body) & 0xFFFFFFFF) + body)
 
 
 def parse_messages(data: bytes):
@@ -339,10 +528,17 @@ class StreamParser:
     Network delivery hands the client data in transport-sized pieces
     that rarely align with message boundaries; the parser buffers the
     tail until a frame completes.
+
+    ``max_frame`` bounds the length field a frame may declare: a
+    corrupted header could otherwise announce a multi-gigabyte payload
+    and silently stall the stream forever while the parser waits for
+    bytes that will never come.  Receivers that expect corruption (the
+    resilient client) set it; the default keeps legacy behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame: Optional[int] = None) -> None:
         self._buffer = bytearray()
+        self.max_frame = max_frame
 
     def feed(self, chunk: bytes):
         """Absorb a chunk and return the messages completed by it."""
@@ -353,6 +549,10 @@ class StreamParser:
             if offset + _FRAME.size > len(self._buffer):
                 break
             type_id, length = _FRAME.unpack_from(self._buffer, offset)
+            if self.max_frame is not None and length > self.max_frame:
+                raise ProtocolError(
+                    f"frame declares {length} byte payload, cap is "
+                    f"{self.max_frame} — corrupted length field")
             end = offset + _FRAME.size + length
             if end > len(self._buffer):
                 break

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from tests.helpers import RED
 from repro.baselines import (BaselineClient, ForwardServer, ScrapeServer,
                              VncEncoder, price_x_command)
 from repro.baselines.nx import NXPricer
@@ -11,7 +12,6 @@ from repro.net import Connection, EventLoop, LinkParams, PacketMonitor
 from repro.region import Rect
 
 FAST = LinkParams("fast", bandwidth_bps=100e6, rtt=0.002)
-RED = (255, 0, 0, 255)
 
 
 def scrape_rig(pull=False, encoder=None, link=FAST, **kw):

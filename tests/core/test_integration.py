@@ -10,30 +10,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.helpers import BLUE, GREEN, RED, WHITE, make_rig
 from repro.core import THINCClient, THINCServer
 from repro.display import WindowServer, solid_pixels
 from repro.net import (Connection, EventLoop, LAN_DESKTOP, LinkParams,
-                       PacketMonitor, WAN_DESKTOP)
+                       WAN_DESKTOP)
 from repro.region import Rect
 from repro.video.stream import SyntheticVideoClip
-
-RED = (255, 0, 0, 255)
-GREEN = (0, 255, 0, 255)
-BLUE = (0, 0, 255, 255)
-WHITE = (255, 255, 255, 255)
-
-
-def make_rig(width=96, height=64, link=LAN_DESKTOP, viewport=None,
-             encrypt=False, send_buffer=None, **server_kw):
-    loop = EventLoop()
-    mon = PacketMonitor()
-    conn = Connection(loop, link, monitor=mon, send_buffer=send_buffer)
-    key = b"thinc-test-key" if encrypt else None
-    server = THINCServer(loop, width, height, encrypt_key=key, **server_kw)
-    ws = WindowServer(width, height, driver=server.driver, clock=loop.clock)
-    server.attach_client(conn, viewport=viewport)
-    client = THINCClient(loop, conn, decrypt_key=key)
-    return loop, conn, mon, server, ws, client
 
 
 class TestPixelExactness:

@@ -9,33 +9,16 @@ same-viewport clients must receive byte-identical wire streams.
 
 import numpy as np
 
+from tests.helpers import (BLUE, GREEN, RED, WHITE,
+                           make_multi_rig as make_rig)
 from repro.core import STAGE_NAMES, THINCClient, THINCServer
 from repro.core.pipeline import StageStats
 from repro.display import WindowServer
-from repro.net import Connection, EventLoop, LAN_DESKTOP, PacketMonitor
+from repro.net import Connection, EventLoop, LAN_DESKTOP
 from repro.protocol.commands import RawCommand, SFillCommand
 from repro.region import Rect
 
-RED = (255, 0, 0, 255)
-GREEN = (0, 255, 0, 255)
-BLUE = (0, 0, 255, 255)
-WHITE = (255, 255, 255, 255)
-
 ZOOM_RECT = Rect(16, 8, 48, 32)
-
-
-def make_rig(viewports, width=96, height=64, **server_kw):
-    """One server/window-server pair with a client per viewport spec."""
-    loop = EventLoop()
-    mon = PacketMonitor()
-    server = THINCServer(loop, width, height, **server_kw)
-    ws = WindowServer(width, height, driver=server.driver, clock=loop.clock)
-    clients = []
-    for viewport in viewports:
-        conn = Connection(loop, LAN_DESKTOP, monitor=mon)
-        server.attach_client(conn, viewport=viewport)
-        clients.append(THINCClient(loop, conn))
-    return loop, mon, server, ws, clients
 
 
 def draw_phase(ws, rng):

@@ -1,0 +1,289 @@
+"""Chaos suite for the session resilience plane.
+
+Every scenario runs a deterministic scripted workload while a fault
+plan batters the transport, then lets the chaos settle and demands the
+strongest possible outcome: the client framebuffer is pixel-identical
+to the server screen — and to a clean twin run of the same workload
+that never saw a fault.
+
+Drive these rigs with ``loop.run_until(t)``: heartbeat and liveness
+timers run forever, so ``run_until_idle`` would not return.
+"""
+
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import (assert_pixel_identical, make_resilient_rig,
+                           scripted_workload)
+from repro.core.resilience import ResilienceConfig
+from repro.net import LinkParams
+from repro.net.faults import (Corruption, Disconnect, FaultPlan, LossBurst,
+                              Partition, Stall)
+
+W, H = 96, 64
+# The replay-byte bound: what a full-screen RAW snapshot would cost on
+# the wire (raw pixels + per-chunk framing/compression overhead).
+FULLSCREEN_RAW = W * H * 4 + 4096
+SETTLE = 8.0  # all scripted plans are quiet long before this
+
+# A higher-latency link keeps bytes in flight, so abrupt faults have
+# something to destroy (on an instant LAN every write is already
+# applied before the fault lands).
+WAN = LinkParams("test-wan", bandwidth_bps=10e6, rtt=0.08)
+
+
+def chaos_run(plan, end=1.2, settle=SETTLE, workload_seed=7, **rig_kw):
+    loop, dial, server, ws, rc = make_resilient_rig(
+        width=W, height=H, plan=plan, **rig_kw)
+    scripted_workload(loop, ws, end=end, seed=workload_seed)
+    loop.run_until(settle)
+    return loop, dial, server, ws, rc
+
+
+def clean_twin_pixels(end=1.2, workload_seed=7, **rig_kw):
+    """The same workload with no faults: the golden screen."""
+    loop, dial, server, ws, rc = chaos_run(None, end=end,
+                                           workload_seed=workload_seed,
+                                           **rig_kw)
+    assert_pixel_identical(rc.client, ws)
+    return np.array(rc.client.fb.data, copy=True)
+
+
+def assert_clean_outcome(rc, ws, **twin_kw):
+    """Pixel-identical to the live screen AND to the uninterrupted
+    twin run, with an intact (gap-free) sequence stream."""
+    assert_pixel_identical(rc.client, ws)
+    assert np.array_equal(rc.client.fb.data, clean_twin_pixels(**twin_kw))
+    assert rc.client.stats["seq_gaps"] == 0
+
+
+class TestCleanSession:
+    def test_no_faults_no_resyncs(self):
+        loop, dial, server, ws, rc = chaos_run(None)
+        assert_pixel_identical(rc.client, ws)
+        st = server.resilience.stats
+        assert rc.stats["dials"] == 1
+        assert st.attaches == 1
+        assert st.resyncs_replay == 0 and st.resyncs_snapshot == 0
+        assert st.heartbeats > 0  # liveness traffic flowed
+
+    def test_acks_prune_the_replay_log(self):
+        loop, dial, server, ws, rc = chaos_run(None)
+        guard = next(iter(server.resilience.guards.values()))
+        # Quiescent and fully acked: the journal must be (near) empty,
+        # not an ever-growing transcript of the session.
+        assert guard.log_bytes <= 64
+
+
+class TestScriptedScenarios:
+    def test_loss_burst_is_transports_problem(self):
+        # Partial loss is ordinary TCP weather: retransmits absorb it
+        # with no reconnect, no resync, not even a liveness blip.
+        plan = FaultPlan([LossBurst(start=0.3, duration=0.4,
+                                    drop_rate=0.6)], seed=6)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.0)
+        assert_clean_outcome(rc, ws, end=1.0)
+        st = server.resilience.stats
+        assert rc.stats["dials"] == 1
+        assert st.resyncs_replay == 0 and st.resyncs_snapshot == 0
+
+    def test_upstream_stall_reattaches_in_place(self):
+        # Heartbeats freeze, the server detaches; when the stalled
+        # heartbeats surge out the session re-attaches on the same
+        # pipe — the client never notices anything happened.
+        plan = FaultPlan([Stall(start=0.4, duration=0.5,
+                                direction="up")], seed=1)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.6)
+        assert_clean_outcome(rc, ws, end=1.6)
+        st = server.resilience.stats
+        assert rc.stats["dials"] == 1  # no reconnect needed
+        assert st.disconnects == 1 and st.reattaches == 1
+        assert st.resyncs_replay == 0 and st.resyncs_snapshot == 0
+
+    def test_downstream_stall_recovers_by_replay(self):
+        plan = FaultPlan([Stall(start=0.4, duration=0.8,
+                                direction="down")], seed=2)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.6)
+        assert_clean_outcome(rc, ws, end=1.6)
+        st = server.resilience.stats
+        assert rc.stats["dead_detected"] >= 1
+        assert st.resyncs_replay >= 1
+        assert st.resyncs_snapshot == 0  # queue survived: no fallback
+        assert st.max_replay_bytes <= FULLSCREEN_RAW
+
+    def test_partition_heals_without_snapshot(self):
+        plan = FaultPlan([Partition(start=0.4, duration=0.6)], seed=3)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.6)
+        assert_clean_outcome(rc, ws, end=1.6)
+        assert server.resilience.stats.resyncs_snapshot == 0
+
+    def test_mid_frame_disconnect_replays_lost_frames(self):
+        # Kill the socket while a full-screen frame is in flight on a
+        # fat-latency pipe: the journal must resend the lost suffix.
+        def run(plan):
+            loop, dial, server, ws, rc = make_resilient_rig(
+                width=W, height=H, plan=plan, link=WAN)
+            scripted_workload(loop, ws, end=1.2)
+            img = np.random.default_rng(5).integers(
+                0, 256, (H, W, 4), dtype=np.uint8)
+            loop.schedule_at(0.46, lambda: ws.put_image(
+                ws.screen, ws.screen.bounds, img))
+            loop.run_until(SETTLE)
+            assert_pixel_identical(rc.client, ws)
+            return server, rc
+
+        server, rc = run(FaultPlan([Disconnect(at=0.5)], seed=9))
+        clean_server, clean_rc = run(None)
+        assert np.array_equal(rc.client.fb.data, clean_rc.client.fb.data)
+        assert rc.client.stats["seq_gaps"] == 0
+        st = server.resilience.stats
+        assert st.resyncs_replay >= 1 and st.resyncs_snapshot == 0
+        assert 0 < st.max_replay_bytes <= FULLSCREEN_RAW
+
+    def test_corrupted_frames_trigger_resync_not_crash(self):
+        plan = FaultPlan([Corruption(start=0.4, duration=0.3,
+                                     direction="down", rate=1.0)], seed=5)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.2)
+        assert_pixel_identical(rc.client, ws)
+        assert np.array_equal(rc.client.fb.data, clean_twin_pixels(end=1.2))
+        total_errors = (rc.stats["protocol_errors"]
+                        + rc.client.stats["protocol_errors"])
+        assert total_errors > 0  # damage was detected, typed, survived
+        assert server.resilience.stats.resyncs_snapshot == 0
+
+    def test_upstream_corruption_does_not_kill_the_server(self):
+        plan = FaultPlan([Corruption(start=0.3, duration=0.4,
+                                     direction="up", rate=1.0)], seed=8)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.2)
+        assert_pixel_identical(rc.client, ws)
+
+    def test_detach_window_expiry_falls_back_to_snapshot(self):
+        # The client stays away past the detach window (huge client
+        # backoff forces that): queue and log are dropped, and the
+        # reconnect is served by a chunked RAW snapshot instead.
+        server_cfg = ResilienceConfig(
+            heartbeat_interval=0.1, liveness_timeout=0.35,
+            check_interval=0.05, backoff_base=0.05, detach_window=0.8)
+        client_cfg = ResilienceConfig(
+            heartbeat_interval=0.1, liveness_timeout=0.35,
+            check_interval=0.05, backoff_base=2.5, backoff_jitter=0.0)
+        plan = FaultPlan([Disconnect(at=0.5)], seed=9)
+        loop, dial, server, ws, rc = chaos_run(
+            plan, end=1.2, config=server_cfg, client_config=client_cfg)
+        assert_pixel_identical(rc.client, ws)
+        st = server.resilience.stats
+        assert st.queues_dropped == 1
+        assert st.resyncs_snapshot == 1 and st.resyncs_replay == 0
+        # The snapshot discontinuity is announced, not a stream bug.
+        assert rc.client.stats["seq_gaps"] == 0
+
+    def test_encrypted_session_survives_reconnect(self):
+        # A reconnect restarts both RC4 keystreams; any desync would
+        # garble every byte after the resync and fail pixel equality.
+        plan = FaultPlan([Disconnect(at=0.5)], seed=12)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.2, encrypt=True)
+        assert_pixel_identical(rc.client, ws)
+        assert np.array_equal(rc.client.fb.data,
+                              clean_twin_pixels(end=1.2, encrypt=True))
+        assert server.resilience.stats.resyncs_replay >= 1
+
+    def test_rapid_flapping_is_denied_backoff(self):
+        plan = FaultPlan([Disconnect(at=0.4), Disconnect(at=0.9),
+                          Disconnect(at=1.4)], seed=13)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.6, settle=12.0)
+        assert_pixel_identical(rc.client, ws)
+        st = server.resilience.stats
+        assert st.resyncs_replay + st.resyncs_snapshot >= 3
+
+
+class TestDegradation:
+    def test_sustained_backpressure_sheds_audio_then_recovers(self):
+        thin = LinkParams("thin", bandwidth_bps=0.4e6, rtt=0.02)
+        cfg = ResilienceConfig(
+            heartbeat_interval=0.1, liveness_timeout=2.0,
+            check_interval=0.05, backoff_base=0.05,
+            degrade_high_bytes=20_000, degrade_low_bytes=4_000,
+            degrade_after_checks=2)
+        loop, dial, server, ws, rc = make_resilient_rig(
+            width=W, height=H, link=thin, send_buffer=6000, config=cfg)
+        rng = np.random.default_rng(21)
+
+        def hammer(i):
+            if i < 14:
+                ws.put_image(ws.screen, ws.screen.bounds,
+                             rng.integers(0, 256, (H, W, 4),
+                                          dtype=np.uint8))
+                loop.schedule(0.05, lambda: hammer(i + 1))
+
+        loop.schedule_at(0.1, lambda: hammer(0))
+        for i in range(40):
+            loop.schedule_at(0.1 + 0.025 * i,
+                             lambda t=i: server.submit_audio(
+                                 0.1 + 0.025 * t, b"\x00" * 800))
+        loop.run_until(20.0)
+        st = server.resilience.stats
+        session = server.sessions[0]
+        assert st.degrade_entered >= 1  # pressure was seen...
+        assert st.degrade_exited >= 1  # ...and receded
+        assert session.stats["audio_dropped"] > 0  # audio was shed
+        assert not session.degraded
+        assert_pixel_identical(rc.client, ws)  # display never lies
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        plan = FaultPlan([LossBurst(start=0.2, duration=0.3, drop_rate=0.5),
+                          Disconnect(at=0.7),
+                          Corruption(start=0.9, duration=0.2, rate=0.5)],
+                         seed=seed)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.2,
+                                               record_trace=True)
+        assert_pixel_identical(rc.client, ws)
+        trace = []
+        for conn in dial.connections:
+            trace.extend(conn.fault_trace())
+        return trace, server.resilience.stats.as_dict(), dict(rc.stats)
+
+    def test_same_seed_byte_identical_run(self):
+        # The acceptance bar for the whole harness: one seed, one
+        # story — packet trace, plane counters and client counters all
+        # repeat exactly.
+        assert self.run_once(77) == self.run_once(77)
+
+    def test_different_seed_different_trace(self):
+        assert self.run_once(77)[0] != self.run_once(78)[0]
+
+
+class TestSeededSweep:
+    # ``make chaos`` runs this file at several THINC_CHAOS_SEED values
+    # (with the queue sanitizer armed); each seed is a different
+    # random fault schedule against a different workload.
+    CHAOS_SEED = int(os.environ.get("THINC_CHAOS_SEED", "0"))
+
+    def test_env_seeded_chaos_run(self):
+        plan = FaultPlan.random(seed=1000 + self.CHAOS_SEED, horizon=2.0)
+        loop, dial, server, ws, rc = chaos_run(
+            plan, end=1.5, settle=12.0, workload_seed=self.CHAOS_SEED)
+        assert_pixel_identical(rc.client, ws)
+        assert server.resilience.stats.max_replay_bytes <= FULLSCREEN_RAW
+        assert rc.client.stats["seq_gaps"] == 0
+
+
+class TestChaosProperty:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_fault_schedule_always_converges(self, seed):
+        # Under ANY seeded-random fault schedule the reconnecting
+        # client converges to the live framebuffer, never pays more
+        # than one full-screen RAW in replay, and never observes a
+        # sequence gap.
+        plan = FaultPlan.random(seed=seed, horizon=2.0)
+        loop, dial, server, ws, rc = chaos_run(plan, end=1.5, settle=12.0,
+                                               workload_seed=seed % 1000)
+        assert_pixel_identical(rc.client, ws)
+        st = server.resilience.stats
+        assert st.max_replay_bytes <= FULLSCREEN_RAW
+        assert rc.client.stats["seq_gaps"] == 0

@@ -3,26 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core import THINCClient, THINCServer
+from tests.helpers import GREEN, RED, make_multi_rig
+from repro.core import THINCClient
 from repro.core.scheduler import FIFOScheduler
-from repro.display import WindowServer
-from repro.net import Connection, EventLoop, LAN_DESKTOP
+from repro.net import Connection, LAN_DESKTOP
 from repro.region import Rect
-
-RED = (255, 0, 0, 255)
-GREEN = (0, 255, 0, 255)
 
 
 def rig(n_clients=1, viewports=None, **server_kw):
-    loop = EventLoop()
-    server = THINCServer(loop, 96, 64, **server_kw)
-    ws = WindowServer(96, 64, driver=server.driver, clock=loop.clock)
-    clients = []
-    for i in range(n_clients):
-        conn = Connection(loop, LAN_DESKTOP)
-        viewport = viewports[i] if viewports else None
-        server.attach_client(conn, viewport=viewport)
-        clients.append(THINCClient(loop, conn))
+    viewports = viewports or [None] * n_clients
+    loop, mon, server, ws, clients = make_multi_rig(viewports, **server_kw)
     return loop, server, ws, clients
 
 
@@ -143,9 +133,6 @@ class TestMobility:
         ws.draw_text(ws.screen, 4, 4, "persistent session", GREEN)
         loop.run_until_idle(max_time=5)
 
-        from repro.core import THINCClient
-        from repro.net import Connection, LAN_DESKTOP
-
         conn2 = Connection(loop, LAN_DESKTOP)
         server.attach_client(conn2)
         second = THINCClient(loop, conn2)
@@ -157,9 +144,6 @@ class TestMobility:
         loop, server, ws, (first,) = rig()
         ws.fill_rect(ws.screen, ws.screen.bounds, RED)
         loop.run_until_idle(max_time=5)
-
-        from repro.core import THINCClient
-        from repro.net import Connection, LAN_DESKTOP
 
         conn2 = Connection(loop, LAN_DESKTOP)
         server.attach_client(conn2, viewport=(48, 32))
