@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze sanitize chaos ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze sanitize chaos fuzz fuzz-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -35,6 +35,20 @@ chaos:
 	  $(PY) -m pytest tests/net/test_faults.py \
 	    tests/core/test_resilience.py -x -q || exit 1; \
 	done
+
+# Deterministic protocol fuzzing: seed-driven mutated uplink traffic
+# against a live server rig with an honest co-resident session, with
+# the queue sanitizer armed.  Exits nonzero on any contract violation
+# (crash, stall, pixel divergence, budget bust) and saves the
+# offending input under tests/fuzz/corpus/.  See docs/HARDENING.md.
+fuzz:
+	THINC_SANITIZE=1 PYTHONPATH=src $(PY) -m repro.fuzz \
+	  --seeds 1 2 3 --frames 500 --replay tests/fuzz/corpus
+
+# Quick single-seed fuzz pass for local pre-commit checks.
+fuzz-smoke:
+	PYTHONPATH=src $(PY) -m repro.fuzz --seeds 1 --frames 150 \
+	  --replay tests/fuzz/corpus
 
 # What .github/workflows/ci.yml runs: lint gates + the tier-1 suite.
 ci: lint analyze

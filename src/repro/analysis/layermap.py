@@ -55,6 +55,7 @@ LAYER_RANKS: Dict[str, int] = {
     "core": 30,
     "baselines": 40,
     "workloads": 40,
+    "fuzz": 45,
     "bench": 50,
     "analysis": 100,
 }

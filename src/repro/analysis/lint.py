@@ -20,6 +20,10 @@ THL004   wire-constant       wire-format sizes outside ``repro.protocol``
                              ``spec``, never be numeric literals
 THL005   mutable-default     no mutable default arguments
 THL006   bare-except         no bare ``except:`` clauses
+THL007   unguarded-decode    ``decode_payload`` bodies must length-check
+                             input before ``struct.unpack`` / slicing —
+                             a short payload must raise a typed
+                             ``ProtocolError``, not ``struct.error``
 =======  ==================  ==============================================
 
 Suppress a finding by appending a ``thinclint: skip`` comment (all
@@ -55,6 +59,9 @@ RULES: Sequence[Tuple[str, str, str]] = (
      "mutable default arguments are shared across calls"),
     ("THL006", "bare-except",
      "bare except swallows KeyboardInterrupt/SystemExit and hides bugs"),
+    ("THL007", "unguarded-decode",
+     "decode_payload must length-check its input (via _need/_exactly/len) "
+     "before struct.unpack or slice-decoding it"),
 )
 
 # THL001: the contract every concrete protocol command must spell out.
@@ -65,6 +72,9 @@ _COMMAND_METHODS = ("translated", "clipped", "encode", "decode", "apply")
 _WIRE_NAME = re.compile(
     r"(WIRE|FRAME|HEADER|HDR|PACKET|MSG|MESSAGE)_?\w*?"
     r"(OVERHEAD|SIZE|BYTES|LEN)")
+
+# THL007: calls that count as a length guard inside decode_payload.
+_DECODE_GUARDS = {"_need", "_exactly", "len"}
 
 # THL005: zero-arg constructors of mutable containers.
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
@@ -218,6 +228,7 @@ class _LintVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_decode_guard(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -227,6 +238,42 @@ class _LintVisitor(ast.NodeVisitor):
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
         self.generic_visit(node)
+
+    # -- THL007 ---------------------------------------------------------------
+
+    def _check_decode_guard(self, node: ast.FunctionDef) -> None:
+        """Wire decoders must validate lengths before raw decoding, so
+        a short or lying payload surfaces as a typed ProtocolError
+        instead of an uncontrolled struct.error / silent garbage."""
+        if node.name != "decode_payload":
+            return
+        guard_line = None
+        first_op: Optional[ast.AST] = None
+        for sub in ast.walk(node):
+            line = getattr(sub, "lineno", None)
+            if line is None:
+                continue
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else "")
+                if name in _DECODE_GUARDS:
+                    if guard_line is None or line < guard_line:
+                        guard_line = line
+                elif name in ("unpack", "unpack_from"):
+                    if first_op is None or line < first_op.lineno:
+                        first_op = sub
+            elif (isinstance(sub, ast.Subscript)
+                    and isinstance(sub.slice, ast.Slice)):
+                if first_op is None or line < first_op.lineno:
+                    first_op = sub
+        if first_op is not None and (guard_line is None
+                                     or guard_line > first_op.lineno):
+            self._flag(first_op, "THL007",
+                       "decode_payload decodes raw bytes before any "
+                       "length check; guard with _need/_exactly (or a "
+                       "len() comparison) so truncated input raises a "
+                       "typed ProtocolError")
 
     # -- THL006 ---------------------------------------------------------------
 

@@ -6,6 +6,8 @@ from .client import ClientCostModel, THINCClient
 from .miniclient import MiniClient
 from .command_queue import CommandQueue
 from .delivery import ClientBuffer, FlushResult
+from .governor import (AdmissionDenied, Budget, Governor, GovernorStats,
+                       ServerBudget)
 from .pipeline import PreparePlane, StageStats, STAGE_NAMES
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import FIFOScheduler, SRSFScheduler
@@ -19,6 +21,11 @@ __all__ = [
     "SessionRegistry",
     "MiniClient",
     "ServerCostModel",
+    "AdmissionDenied",
+    "Budget",
+    "ServerBudget",
+    "Governor",
+    "GovernorStats",
     "CommandQueue",
     "ClientBuffer",
     "FlushResult",

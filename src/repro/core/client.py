@@ -96,6 +96,12 @@ class THINCClient:
         self.last_applied_seq = 0
         self._seq_barrier = False
         self.on_protocol_error: Optional[callable] = None
+        # Governance hook: called with an AttachDeniedMessage when the
+        # server's governor turns this client away (admission refusal
+        # or eviction); the client also counts it and remembers the
+        # retry hint so callers can surface it cleanly.
+        self.on_attach_denied: Optional[callable] = None
+        self.attach_denied: Optional[wire.AttachDeniedMessage] = None
         self.fb: Optional[Framebuffer] = None
         if viewport is not None:
             self.fb = Framebuffer(*viewport)
@@ -118,6 +124,7 @@ class THINCClient:
             "protocol_errors": 0,
             "replay_skipped": 0,
             "seq_gaps": 0,
+            "attach_denied": 0,
         }
         if connection is not None:
             connection.down.connect(self._on_data)
@@ -215,6 +222,15 @@ class THINCClient:
                             wire.ReconnectDeniedMessage)):
             # Session-plane traffic; arrival time alone is the signal
             # (a resilient wrapper tracks last_rx_time).
+            return
+        if isinstance(msg, wire.AttachDeniedMessage):
+            # The governor turned this client away (admission refusal
+            # or eviction).  Surface it cleanly — no exception, no
+            # diagnosing a silent hangup.
+            self.stats["attach_denied"] += 1
+            self.attach_denied = msg
+            if self.on_attach_denied is not None:
+                self.on_attach_denied(msg)
             return
         if isinstance(msg, wire.ScreenInitMessage):
             if self.fb is None or (self.fb.width, self.fb.height) != (

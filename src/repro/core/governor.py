@@ -1,0 +1,393 @@
+"""Per-session resource governance and server-wide admission control.
+
+THINC's server-push design concentrates all state server-side: each
+session owns a command queue, control/audio queues, and (when the
+resilience plane is on) a replay journal.  Left unbounded, a single
+hostile or broken client — one that never drains its buffer, streams
+garbage uplink, or floods input events — can balloon or wedge the whole
+single-threaded server.  The governor bounds every one of those
+reservoirs with a per-session :class:`Budget` enforced lazily at the
+existing chokepoints (``submit``/``enqueue_prepared`` →
+``_add_to_buffer``, ``queue_control``, ``queue_audio``,
+``_on_client_data``), so there are no timers and the simulation stays
+deterministic.
+
+Responses are graduated, mildest first:
+
+* **degrade** — past the queue soft watermark the session sheds audio
+  (the existing degraded-mode path); past the hard cap the queue is
+  *coalesced*: dropped wholesale and replaced by a row-banded
+  full-screen RAW refresh, which is cheaper than the backlog by the
+  time the cap is hit (the same replay-vs-snapshot economics the
+  resilience plane uses for resync).
+* **throttle** — uplink messages pass through a token bucket; messages
+  beyond the refill rate are dropped (input is best-effort by nature).
+* **evict** — protocol abuse (wire decode failures past the error
+  budget on a resilient session, or the *first* failure on a plain
+  one), sustained uplink flooding, a re-ballooning queue right after a
+  coalesce, or an unshrinkable control backlog quarantine the session:
+  a typed :class:`~repro.protocol.wire.AttachDeniedMessage` is written
+  down the pipe and the session is detached from the server.  A
+  quarantined session never crashes or stalls the loop.
+
+Server-wide, :class:`ServerBudget` gates ``attach_client``: past the
+global session count or buffered-byte budget the attach is refused
+with the same typed denial on the wire plus an :class:`AdmissionDenied`
+raised to the caller.  Aggregate counters surface through
+:class:`GovernorStats`, merged into ``server.stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..protocol import wire
+
+__all__ = ["Budget", "ServerBudget", "GovernorStats", "SessionMeter",
+           "Governor", "AdmissionDenied"]
+
+
+class AdmissionDenied(RuntimeError):
+    """``attach_client`` refused by the governor's admission control.
+
+    The typed wire denial has already been written to the connection
+    when this is raised; the exception carries the same reason code so
+    in-process callers need not parse their own stream.
+    """
+
+    def __init__(self, reason: int, retry_after: float):
+        super().__init__(f"attach denied (reason {reason}, "
+                         f"retry after {retry_after}s)")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-session resource bounds.
+
+    Defaults are generous for honest traffic — an honest session under
+    the reference workloads stays an order of magnitude below every
+    line — while still bounding what a hostile client can pin.
+    Tests construct tighter budgets to exercise the ladder cheaply.
+    """
+
+    #: Soft watermark on buffered display-command bytes: past it the
+    #: session enters degraded mode (audio shed, coalescing does the
+    #: rest); it exits below half this value.
+    degrade_queue_bytes: int = 8 << 20
+
+    #: Hard cap on buffered display-command bytes: past it the queue is
+    #: coalesced to a full-screen RAW refresh.
+    max_queue_bytes: int = 32 << 20
+
+    #: Absolute ceiling: a queue still past this (or re-ballooning
+    #: within ``coalesce_cooldown``) evicts the session.
+    evict_queue_bytes: int = 64 << 20
+
+    #: Seconds after a coalesce during which hitting the hard cap again
+    #: means coalescing is not working — evict instead of thrashing.
+    coalesce_cooldown: float = 1.0
+
+    #: Cap on framed audio bytes queued and not yet flushed; the oldest
+    #: chunks are shed first (late audio is worthless).
+    max_audio_backlog_bytes: int = 1 << 20
+
+    #: Cap on framed control-message bytes queued and not yet flushed.
+    #: Control cannot be shed safely (order-sensitive lifecycles), so
+    #: exceeding it evicts.
+    max_control_backlog_bytes: int = 4 << 20
+
+    #: Cap on the resilience replay journal, overriding (when smaller)
+    #: the plane's own snapshot-derived limit.
+    max_journal_bytes: int = 16 << 20
+
+    #: Uplink token bucket: sustained messages/second allowed, and the
+    #: burst the bucket holds.  Messages beyond it are dropped.
+    uplink_msgs_per_sec: float = 1000.0
+    uplink_burst: int = 2000
+
+    #: Total throttled-away uplink messages after which the flood is
+    #: adjudged hostile and the session is evicted.
+    max_uplink_dropped: int = 20_000
+
+    #: Wire decode failures a *resilient* session may accumulate before
+    #: quarantine (lossy links corrupt honest traffic; the resync
+    #: machinery absorbs occasional garbage).  Plain sessions are
+    #: quarantined on their first decode failure.
+    max_uplink_errors: int = 256
+
+
+@dataclass(frozen=True)
+class ServerBudget:
+    """Server-wide admission bounds."""
+
+    #: Sessions the server will hold at once (attached or detached).
+    max_sessions: int = 64
+
+    #: Total display-command bytes buffered across all sessions past
+    #: which new attaches are refused (existing sessions are governed
+    #: by their own budgets).
+    max_total_queue_bytes: int = 256 << 20
+
+    #: Retry hint carried by admission denials.
+    retry_after: float = 1.0
+
+
+class GovernorStats:
+    """Aggregate governance counters (StageStats pattern)."""
+
+    __slots__ = ("admitted", "admission_denied", "quarantined", "evicted",
+                 "degrade_entered", "degrade_exited", "coalesces",
+                 "audio_shed", "uplink_throttled", "wire_errors",
+                 "denials_written")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"GovernorStats({body})"
+
+
+class SessionMeter:
+    """Per-session governance state: token bucket, error tally, ladder
+    position.  Byte gauges live on the session itself (maintained at
+    the queue chokepoints); the meter holds only what the ladder
+    needs to remember between checks."""
+
+    __slots__ = ("tokens", "last_refill", "uplink_dropped", "wire_errors",
+                 "degraded", "last_coalesce", "quarantined")
+
+    def __init__(self, budget: Budget, now: float):
+        self.tokens = float(budget.uplink_burst)
+        self.last_refill = now
+        self.uplink_dropped = 0
+        self.wire_errors = 0
+        self.degraded = False  # did *this governor* degrade the session
+        self.last_coalesce: Optional[float] = None
+        self.quarantined = False
+
+
+class Governor:
+    """Owner of per-session meters, the response ladder and admission."""
+
+    def __init__(self, server, budget: Optional[Budget] = None,
+                 server_budget: Optional[ServerBudget] = None):
+        self.server = server
+        self.loop = server.loop
+        self.budget = budget or Budget()
+        self.server_budget = server_budget or ServerBudget()
+        self.stats = GovernorStats()
+        self._meters: Dict[object, SessionMeter] = {}
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def check_admission(self) -> Optional[int]:
+        """The denial reason a fresh attach would receive, or None.
+
+        Non-raising form for callers with their own denial wire format
+        (the resilience plane answers with a ReconnectDeniedMessage).
+        """
+        sb = self.server_budget
+        sessions = self.server.sessions
+        if len(sessions) >= sb.max_sessions:
+            return wire.DENY_SERVER_FULL
+        total = sum(s.buffer.pending_bytes() for s in sessions)
+        if total > sb.max_total_queue_bytes:
+            return wire.DENY_SERVER_FULL
+        return None
+
+    def admit(self, connection) -> None:
+        """Admission control for a fresh attach.
+
+        Writes a typed denial to *connection* and raises
+        :class:`AdmissionDenied` when the server is past its global
+        budget; returns silently otherwise.
+        """
+        reason = self.check_admission()
+        if reason is not None:
+            self._deny(connection, reason)
+        self.stats.admitted += 1
+
+    def _deny(self, connection, reason: int) -> None:
+        retry = self.server_budget.retry_after
+        self._write_denial(connection, reason, retry)
+        self.stats.admission_denied += 1
+        raise AdmissionDenied(reason, retry)
+
+    def _write_denial(self, connection, reason: int,
+                      retry_after: float) -> None:
+        if connection is None or connection.closed:
+            return
+        data = wire.encode_message(
+            wire.AttachDeniedMessage(reason, retry_after))
+        if connection.down.writable_bytes() >= len(data):
+            connection.down.write(data)
+            self.stats.denials_written += 1
+
+    def register(self, session) -> SessionMeter:
+        meter = SessionMeter(self.budget, self.loop.now)
+        self._meters[session] = meter
+        return meter
+
+    def forget(self, session) -> None:
+        self._meters.pop(session, None)
+
+    def meter(self, session) -> SessionMeter:
+        m = self._meters.get(session)
+        if m is None:
+            m = self.register(session)
+        return m
+
+    # -- uplink chokepoint ---------------------------------------------------
+
+    def allow_uplink(self, session) -> bool:
+        """Token-bucket gate for one parsed uplink message.
+
+        Returns False when the message should be dropped; a sustained
+        flood past ``max_uplink_dropped`` evicts the sender.
+        """
+        meter = self.meter(session)
+        if meter.quarantined:
+            return False
+        b = self.budget
+        now = self.loop.now
+        meter.tokens = min(
+            float(b.uplink_burst),
+            meter.tokens + (now - meter.last_refill) * b.uplink_msgs_per_sec)
+        meter.last_refill = now
+        if meter.tokens >= 1.0:
+            meter.tokens -= 1.0
+            return True
+        meter.uplink_dropped += 1
+        self.stats.uplink_throttled += 1
+        if meter.uplink_dropped > b.max_uplink_dropped:
+            self.quarantine(session, wire.DENY_SESSION_BUDGET,
+                            evicted=True)
+        return False
+
+    def on_wire_error(self, session, exc: Exception) -> None:
+        """A decode failure on *session*'s uplink stream.
+
+        Plain sessions are quarantined immediately: without a
+        resilience plane there is no resync story, and garbage framing
+        means every subsequent byte is suspect.  Resilient sessions get
+        a fresh parser (heartbeats repeat; corruption on a lossy link
+        is expected) until the error budget runs out.
+        """
+        meter = self.meter(session)
+        meter.wire_errors += 1
+        self.stats.wire_errors += 1
+        resilient = self.server.resilience is not None and session.sequenced
+        if resilient and meter.wire_errors <= self.budget.max_uplink_errors:
+            session.reset_parser()
+            return
+        self.quarantine(session, wire.DENY_QUARANTINED)
+
+    # -- outgoing-reservoir chokepoints --------------------------------------
+
+    def after_display_add(self, session) -> None:
+        """Queue-bytes ladder, run after every buffered display add."""
+        meter = self.meter(session)
+        if meter.quarantined:
+            return
+        if session.detached and self.server.resilience is not None:
+            # A detached-but-guarded session belongs to the resilience
+            # plane: its tick drops the queue (keeping the session
+            # resurrectable) once pending crosses the same budget line.
+            # Coalescing or evicting here would destroy a session the
+            # plane still intends to resync.
+            return
+        b = self.budget
+        pending = session.buffer.pending_bytes()
+        now = self.loop.now
+        if pending > b.max_queue_bytes:
+            recently = (meter.last_coalesce is not None
+                        and now - meter.last_coalesce < b.coalesce_cooldown)
+            if pending > b.evict_queue_bytes or recently:
+                self.quarantine(session, wire.DENY_SESSION_BUDGET,
+                                evicted=True)
+                return
+            self._coalesce(session, meter, now)
+            return
+        if pending > b.degrade_queue_bytes:
+            if not meter.degraded:
+                meter.degraded = True
+                session.degraded = True
+                self.stats.degrade_entered += 1
+        elif meter.degraded and pending < b.degrade_queue_bytes // 2:
+            meter.degraded = False
+            session.degraded = False
+            self.stats.degrade_exited += 1
+
+    def _coalesce(self, session, meter: SessionMeter, now: float) -> None:
+        """Replace a runaway queue with a full-screen RAW refresh.
+
+        By the time the hard cap is hit the backlog costs more than
+        repainting the screen outright — the same economics that make
+        the resilience plane prefer a snapshot over a long replay.
+        The refresh is row-banded so it can drain through a congested
+        pipe's flush budget.
+        """
+        meter.last_coalesce = now
+        session.buffer.queue.clear()
+        self.stats.coalesces += 1
+        self.server._submit_refresh(session, chunk_rows=64)
+
+    def after_audio_add(self, session) -> None:
+        """Shed the oldest audio past the backlog cap (late audio is
+        worthless; bytes are better spent on display)."""
+        b = self.budget
+        while session.audio_backlog_bytes > b.max_audio_backlog_bytes \
+                and session._audio:
+            session.drop_oldest_audio()
+            self.stats.audio_shed += 1
+
+    def after_control_add(self, session) -> None:
+        """Control messages cannot be shed (order-sensitive stream and
+        video lifecycles ride them); a session that cannot drain them
+        is evicted before the backlog becomes the server's problem."""
+        if session.control_backlog_bytes > \
+                self.budget.max_control_backlog_bytes:
+            self.quarantine(session, wire.DENY_SESSION_BUDGET,
+                            evicted=True)
+
+    # -- the terminal rung ---------------------------------------------------
+
+    def quarantine(self, session, reason: int,
+                   evicted: bool = False) -> None:
+        """Detach *session* and refuse its future traffic.
+
+        Never raises: quarantining happens inside data callbacks where
+        an escaping exception would kill the event loop — the exact
+        failure mode this module exists to prevent.
+        """
+        meter = self.meter(session)
+        if meter.quarantined:
+            return
+        meter.quarantined = True
+        session.quarantined = True
+        self.stats.quarantined += 1
+        if evicted:
+            self.stats.evicted += 1
+        # The denial rides the session's own framing path (CHECKED
+        # wrapper, RC4 keystream) so an attached client parses it like
+        # any other message instead of seeing stream garbage.
+        conn = session.connection
+        if conn is not None and not conn.closed:
+            data = session._frame(wire.AttachDeniedMessage(
+                reason, self.server_budget.retry_after))
+            if session._writer.writable_bytes() >= len(data):
+                session._writer.write(data)
+                self.stats.denials_written += 1
+        session.detach()
+        if self.server.resilience is not None:
+            self.server.resilience.drop_guard(session)
+        if session in self.server.sessions:
+            self.server.detach_client(session)

@@ -249,15 +249,27 @@ class ResiliencePlane:
         now = self.loop.now
         guard = self.guards.get(req.token) if req.token else None
         if guard is None:
-            # Fresh attach (or a token the plane no longer knows).
+            # Fresh attach (or a token the plane no longer knows) —
+            # subject to the governor's global admission budget, with
+            # the denial in this path's own typed wire format.
+            governor = self.server.governor
+            if governor.check_admission() is not None:
+                governor.stats.admission_denied += 1
+                self.stats.reconnects_denied += 1
+                self._write_plain(connection, wire.ReconnectDeniedMessage(
+                    governor.server_budget.retry_after))
+                return
+            governor.stats.admitted += 1
             token = self._next_token
             self._next_token += 1
             self._write_plain(connection, wire.ReconnectAcceptMessage(
                 token, wire.RESYNC_FRESH))
             session = self.server._make_session(connection, viewport,
                                                 sequenced=True)
-            limit = self.config.replay_log_limit or \
-                2 * self._snapshot_cost(session)
+            limit = min(
+                self.config.replay_log_limit or
+                2 * self._snapshot_cost(session),
+                governor.budget.max_journal_bytes)
             guard = SessionGuard(token, session, now, limit)
             session.journal = self._journal_for(guard)
             self.guards[token] = guard
@@ -307,7 +319,7 @@ class ResiliencePlane:
             # freshly read, row-banded snapshot of current content.
             session.buffer.queue.clear()
             session._replay.clear()
-            session._audio.clear()
+            session.clear_audio()
             guard.log.clear()
             guard.log_bytes = 0
             guard.log_dropped = False
@@ -407,21 +419,37 @@ class ResiliencePlane:
                 else:
                     self._check_pressure(guard, session)
                     self._keepalive(guard, session, now)
-            elif not guard.queue_dropped and \
-                    now - guard.detached_at > cfg.detach_window:
-                # The client stayed away too long: holding a queue (and
-                # log) for it no longer beats a snapshot.  Keep control
-                # state (cursor, video lifecycles) — only pixels are
-                # cheaper to re-read than to replay.
-                guard.queue_dropped = True
-                guard.log.clear()
-                guard.log_bytes = 0
-                guard.log_dropped = True
-                session.buffer.queue.clear()
-                session._audio.clear()
-                session.shed_display = True
-                self.stats.queues_dropped += 1
+            elif not guard.queue_dropped and (
+                    now - guard.detached_at > cfg.detach_window
+                    or session.buffer.pending_bytes() >
+                    self.server.governor.budget.max_queue_bytes):
+                # The client stayed away too long — or its absent-state
+                # footprint hit the session budget early.  Holding a
+                # queue (and log) for it no longer beats a snapshot.
+                # Keep control state (cursor, video lifecycles) — only
+                # pixels are cheaper to re-read than to replay.
+                self._drop_session_state(guard)
         self._ensure_tick()
+
+    def _drop_session_state(self, guard: SessionGuard) -> None:
+        """Drop a detached session's queue, log and audio backlog; the
+        eventual resync falls back to a fresh RAW snapshot."""
+        session = guard.session
+        guard.queue_dropped = True
+        guard.log.clear()
+        guard.log_bytes = 0
+        guard.log_dropped = True
+        session.buffer.queue.clear()
+        session.clear_audio()
+        session.shed_display = True
+        self.stats.queues_dropped += 1
+
+    def drop_guard(self, session) -> None:
+        """Forget a session entirely (governor eviction): its token
+        will no longer resync — a redial becomes a fresh attach."""
+        guard = self._by_session.pop(session, None)
+        if guard is not None:
+            self.guards.pop(guard.token, None)
 
     def _check_pressure(self, guard: SessionGuard, session) -> None:
         backlog = session.buffer.pending_bytes()
@@ -471,6 +499,7 @@ class ResilientClient:
                                   decrypt_key=decrypt_key,
                                   cost_model=cost_model)
         self.client.on_protocol_error = self._on_protocol_error
+        self.client.on_attach_denied = self._on_attach_denied
         self.token = 0
         self.attached = False
         self._stopped = False
@@ -483,7 +512,7 @@ class ResilientClient:
             zlib.crc32(f"client|{seed}".encode("utf-8")))
         self.stats = {"dials": 0, "accepts": 0, "denials": 0,
                       "dead_detected": 0, "desyncs_detected": 0,
-                      "protocol_errors": 0,
+                      "protocol_errors": 0, "attach_denied": 0,
                       "replay_resyncs": 0, "snapshot_resyncs": 0}
 
     def _parse_progress(self) -> int:
@@ -649,3 +678,14 @@ class ResilientClient:
         self.stats["protocol_errors"] += 1
         if self.attached:
             self._reconnect()
+
+    def _on_attach_denied(self, msg: "wire.AttachDeniedMessage") -> None:
+        """The governor evicted this session mid-stream: back off for
+        at least the server's retry hint, then redial (the token was
+        forgotten server-side, so the redial is a fresh attach)."""
+        self.stats["attach_denied"] += 1
+        self.token = 0
+        self.attached = False
+        if self.client.connection is not None:
+            self.client.connection.down.disconnect()
+        self._schedule_redial(min_delay=msg.retry_after)

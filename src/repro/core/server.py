@@ -25,11 +25,14 @@ from ..net.transport import Connection
 from ..protocol import wire
 from ..protocol.commands import (Command, CompositeCommand, RawCommand,
                                  VideoFrameCommand)
+from ..protocol.limits import LIMITS
 from ..protocol.rc4 import RC4
+from ..protocol.spec import UPLINK_TYPE_IDS
 from ..region import Rect
 from . import pipeline
 from . import sanitizer as _sanitizer
 from .delivery import ClientBuffer
+from .governor import Budget, Governor, ServerBudget
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
 from .translation import THINCDriver
@@ -153,9 +156,14 @@ class THINCSession:
         self.detached = False
         self.degraded = False
         self.shed_display = False
+        self.quarantined = False
         self._replay: Deque[bytes] = deque()
         self._control: Deque[bytes] = deque()
         self._audio: Deque[bytes] = deque()
+        # Byte gauges over the control/audio queues, maintained at the
+        # append/pop sites so the governor's backlog checks stay O(1).
+        self._control_bytes = 0
+        self._audio_bytes = 0
         self._flush_scheduled = False
         # Monotonic per-session enqueue horizon: a cache hit on the
         # prepare plane can be ready *before* this session's previously
@@ -164,9 +172,10 @@ class THINCSession:
         self._pipe_tail = 0.0
         self.stats = {"messages_sent": 0, "bytes_sent": 0,
                       "flush_periods": 0, "cpu_time": 0.0,
-                      "audio_dropped": 0, "display_shed": 0}
+                      "audio_dropped": 0, "display_shed": 0,
+                      "uplink_dropped": 0, "wire_errors": 0}
         connection.up.connect(self._on_client_data)
-        self._parser = wire.StreamParser()
+        self.reset_parser()
         self.queue_control(wire.ScreenInitMessage(*self.viewport))
 
     @property
@@ -207,29 +216,66 @@ class THINCSession:
                                lambda c=command: self._add_to_buffer(c))
 
     def _add_to_buffer(self, command: Command) -> None:
-        if self.shed_display:
-            # The detach window expired and the queue was dropped: the
-            # reconnect resync will be a snapshot of *current* content,
-            # so buffering more display work is pure waste.
+        if self.shed_display or self.quarantined:
+            # The detach window expired and the queue was dropped (or
+            # the governor evicted the session): the reconnect resync
+            # will be a snapshot of *current* content, so buffering
+            # more display work is pure waste.
             self.stats["display_shed"] += 1
             return
         self.buffer.add(command, now=self.loop.now)
+        self.server.governor.after_display_add(self)
         self._kick()
 
     def queue_control(self, message) -> None:
-        self._control.append(self._frame(message))
+        if self.quarantined:
+            return
+        data = self._frame(message)
+        self._control.append(data)
+        self._control_bytes += len(data)
+        self.server.governor.after_control_add(self)
         self._kick()
 
     def queue_audio(self, timestamp: float, samples: bytes) -> None:
-        if self.detached or self.degraded:
+        if self.detached or self.degraded or self.quarantined:
             # Audio is useless late: a detached client cannot hear it
             # and a congested pipe should spend its bytes on display
             # updates (graceful degradation sheds audio first).
             self.stats["audio_dropped"] += 1
             return
-        self._audio.append(
-            self._frame(wire.AudioChunkMessage(timestamp, samples)))
+        data = self._frame(wire.AudioChunkMessage(timestamp, samples))
+        self._audio.append(data)
+        self._audio_bytes += len(data)
+        self.server.governor.after_audio_add(self)
         self._kick()
+
+    # -- governance gauges and hooks -----------------------------------------
+
+    @property
+    def audio_backlog_bytes(self) -> int:
+        return self._audio_bytes
+
+    @property
+    def control_backlog_bytes(self) -> int:
+        return self._control_bytes
+
+    def drop_oldest_audio(self) -> None:
+        data = self._audio.popleft()
+        self._audio_bytes -= len(data)
+        self.stats["audio_dropped"] += 1
+
+    def clear_audio(self) -> None:
+        self._audio.clear()
+        self._audio_bytes = 0
+
+    def reset_parser(self) -> None:
+        """(Re)create the uplink parser with the typed wire limits:
+        small frames only, a bounded reassembly buffer, and only
+        client-to-server message types accepted."""
+        self._parser = wire.StreamParser(
+            max_frame=LIMITS.max_uplink_frame_bytes,
+            max_pending=LIMITS.max_uplink_pending_bytes,
+            allowed=UPLINK_TYPE_IDS)
 
     def note_input(self, event: InputEvent) -> None:
         # Input arrives in session coordinates; the real-time region is
@@ -270,7 +316,12 @@ class THINCSession:
             if self._replay:
                 break
             while fifo and len(fifo[0]) <= writer.writable_bytes():
-                writer.write(fifo.popleft())
+                data = fifo.popleft()
+                if fifo is self._control:
+                    self._control_bytes -= len(data)
+                else:
+                    self._audio_bytes -= len(data)
+                writer.write(data)
                 self.stats["messages_sent"] += 1
         if not self._replay and not self._control:
             result = self.buffer.flush(writer)
@@ -303,7 +354,7 @@ class THINCSession:
             self.connection.up.disconnect()
         self.connection = connection
         connection.up.connect(self._on_client_data)
-        self._parser = wire.StreamParser()
+        self.reset_parser()
         if self._encrypt_key is not None:
             self.frame_stage.rekey(RC4(self._encrypt_key))
         self.detached = False
@@ -337,17 +388,23 @@ class THINCSession:
         # Client->server traffic is not encrypted in this model (input
         # events only; the paper encrypts both ways but RC4 is
         # size-preserving so accounting is identical).
+        if self.quarantined:
+            return
+        governor = self.server.governor
         try:
             for msg in self._parser.feed(chunk):
+                if not governor.allow_uplink(self):
+                    self.stats["uplink_dropped"] += 1
+                    continue
                 self.server.handle_client_message(self, msg)
-        except (ValueError, KeyError, struct.error, zlib.error):
-            # A resilient deployment shrugs off corrupted client
-            # traffic (heartbeats repeat; the liveness clock already
-            # advanced when the bytes arrived); without a plane a
-            # parse failure is a real bug and must surface.
-            if self.server.resilience is None:
-                raise
-            self._parser = wire.StreamParser()
+        except (ValueError, KeyError, struct.error, zlib.error) as exc:
+            # Any decode failure is a session-scoped event, never a
+            # server crash: the governor either resets the parser (a
+            # resilient session on a lossy link — heartbeats repeat and
+            # the liveness clock already advanced when the bytes
+            # arrived) or quarantines and detaches the session.
+            self.stats["wire_errors"] += 1
+            governor.on_wire_error(self, exc)
 
 
 class THINCServer:
@@ -361,7 +418,9 @@ class THINCServer:
                  encrypt_key: Optional[bytes] = None,
                  cost_model: Optional[ServerCostModel] = None,
                  prepare_cache_entries: int = 128,
-                 resilience=None):
+                 resilience=None,
+                 budget: Optional[Budget] = None,
+                 server_budget: Optional[ServerBudget] = None):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -387,6 +446,9 @@ class THINCServer:
             self.resilience = ResiliencePlane(self, resilience)
         else:
             self.resilience = None
+        # Resource governance: per-session budgets enforced at the
+        # queue/uplink chokepoints plus server-wide admission control.
+        self.governor = Governor(self, budget, server_budget)
 
     # -- session management -----------------------------------------------------
 
@@ -394,9 +456,15 @@ class THINCServer:
                       viewport=None) -> THINCSession:
         """Attach a client; a mid-session join receives the current
         screen contents (the mobility story: connect from any client,
-        resume the same persistent session)."""
+        resume the same persistent session).
+
+        Raises :class:`~repro.core.governor.AdmissionDenied` (after
+        writing a typed :class:`~repro.protocol.wire.AttachDeniedMessage`
+        down the connection) when the server is past its global
+        admission budget."""
         # Active video streams need no replay: frames are self-contained
         # and the next one repaints the stream's destination.
+        self.governor.admit(connection)
         return self._make_session(connection, viewport)
 
     def _make_session(self, connection: Connection, viewport=None,
@@ -405,11 +473,13 @@ class THINCServer:
                                encrypt_key=self.encrypt_key,
                                sequenced=sequenced)
         self.sessions.append(session)
+        self.governor.register(session)
         self._submit_refresh(session)
         return session
 
     def detach_client(self, session: THINCSession) -> None:
         self.sessions.remove(session)
+        self.governor.forget(session)
 
     def _submit_refresh(self, session: THINCSession,
                         rect: Optional[Rect] = None,
@@ -513,7 +583,13 @@ class THINCServer:
                     self._submit_refresh(session, rect=rect)
             return
         if isinstance(msg, wire.ResizeMessage):
-            session.viewport = (msg.width, msg.height)
+            # Never trust client geometry: the decode layer bounds it,
+            # but this handler is also reachable with locally built
+            # messages — clamp to [1, max_viewport_dim] so a degenerate
+            # viewport can never reach the scaler's division.
+            session.viewport = (
+                max(1, min(msg.width, LIMITS.max_viewport_dim)),
+                max(1, min(msg.height, LIMITS.max_viewport_dim)))
             session.scaler = DisplayScaler((self.width, self.height),
                                            session.viewport)
             # The client's framebuffer geometry changes, and it only has
@@ -531,12 +607,16 @@ class THINCServer:
     def stats(self) -> Dict[str, float]:
         """Headline server counters (CPU spent preparing, cache hit rate)."""
         plane = self.plane.stats
-        return {
+        out = {
             "cpu_time": plane.cpu_seconds,
             "prepare_cache_hits": plane.cache_hits,
             "prepare_cache_misses": plane.cache_misses,
             "commands_translated": self.translate.stats.commands_in,
+            "sessions": len(self.sessions),
         }
+        for key, value in self.governor.stats.as_dict().items():
+            out[f"governor_{key}"] = value
+        return out
 
     def pipeline_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-stage counters across the whole pipeline.

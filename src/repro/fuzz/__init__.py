@@ -1,0 +1,42 @@
+"""Deterministic, coverage-guided protocol fuzzing.
+
+The hardening contract of :mod:`repro.protocol.wire` and
+:mod:`repro.core.governor` — *no uplink byte sequence may crash, stall
+or balloon the server* — is only as good as the adversary that tests
+it.  This package is that adversary:
+
+* :mod:`repro.fuzz.corpus` — seed corpus of valid uplink frames plus
+  the crash-corpus directory protocol (any finding becomes a permanent
+  regression test);
+* :mod:`repro.fuzz.mutator` — seed-driven mutation strategies (bit
+  flips, length-field lies, truncations, type-id swaps, splices of
+  valid frames) with AFL-style coverage guidance: inputs that produce
+  a new *outcome signature* (parsed type set, exception class, parser
+  residue bucket) join the mutation pool;
+* :mod:`repro.fuzz.harness` — replays mutated traffic into a live
+  server+session rig while an honest co-resident session runs a real
+  workload, and asserts the loop stays alive, memory stays within the
+  governor's budget, and the honest session converges pixel-identical
+  to an unfuzzed twin run.
+
+Everything derives from explicit integer seeds (``random.Random``, no
+wall clock), so every finding replays exactly — run it via ``make
+fuzz`` or ``python -m repro.fuzz``.
+"""
+
+from .corpus import load_crash_corpus, save_crash, seed_corpus
+from .harness import FuzzConfig, FuzzReport, replay_corpus, run_fuzz
+from .mutator import CoveragePool, Mutator, outcome_signature
+
+__all__ = [
+    "seed_corpus",
+    "load_crash_corpus",
+    "save_crash",
+    "Mutator",
+    "CoveragePool",
+    "outcome_signature",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "replay_corpus",
+]

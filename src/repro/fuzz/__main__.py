@@ -1,0 +1,53 @@
+"""CLI for the protocol fuzzer: ``python -m repro.fuzz``.
+
+Runs one fuzz scenario per seed (plus a crash-corpus replay when
+``--replay`` points at a directory) and exits nonzero on any finding,
+so ``make fuzz`` and the CI job are the same command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import FuzzConfig, replay_corpus, run_fuzz
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Deterministic protocol fuzzing against a live "
+                    "server rig.")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
+                        help="fuzz seeds, one scenario per seed")
+    parser.add_argument("--frames", type=int, default=500,
+                        help="mutated inputs per scenario")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="simulated scenario seconds")
+    parser.add_argument("--width", type=int, default=96)
+    parser.add_argument("--height", type=int, default=64)
+    parser.add_argument("--crash-dir", default="tests/fuzz/corpus",
+                        help="where violating inputs are saved")
+    parser.add_argument("--replay", metavar="DIR", default=None,
+                        help="also replay a crash-corpus directory")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for seed in args.seeds:
+        report = run_fuzz(FuzzConfig(
+            seed=seed, cases=args.frames, width=args.width,
+            height=args.height, duration=args.duration,
+            crash_dir=args.crash_dir))
+        print(report.summary())
+        failed = failed or not report.ok
+    if args.replay is not None:
+        for name, report in replay_corpus(args.replay):
+            print(f"replay {name}: {'OK' if report.ok else 'FAIL'}")
+            for failure in report.failures:
+                print(f"  FAILURE: {failure}")
+            failed = failed or not report.ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

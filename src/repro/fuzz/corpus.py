@@ -1,0 +1,71 @@
+"""Seed and crash corpora for the protocol fuzzer.
+
+The seed corpus is every *valid* uplink message shape the client can
+produce — mutation needs structured starting points or it only ever
+exercises the "unknown type id" branch.  The crash corpus is a
+directory of ``*.bin`` files: every input that ever produced a finding
+is saved there and replayed by the test suite forever after, so a
+fixed bug stays fixed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..protocol import wire
+from ..region import Rect
+
+__all__ = ["seed_corpus", "load_crash_corpus", "save_crash"]
+
+
+def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
+    """Framed, valid uplink messages to seed mutation from.
+
+    Includes single frames, a multi-frame packet (framing lies need a
+    second frame to corrupt into), and a CHECKED-wrapped heartbeat (the
+    prelude shape, so CRC and nesting handling get mutated too).
+    """
+    msgs = [
+        wire.InputMessage("mouse-move", 10, 12, 0.25),
+        wire.InputMessage("mouse-click", width - 1, height - 1, 0.5),
+        wire.InputMessage("key", 0, 0, 1.0),
+        wire.ResizeMessage(width, height),
+        wire.ResizeMessage(2 * width, 2 * height),
+        wire.RefreshRequestMessage(Rect(0, 0, width, height)),
+        wire.RefreshRequestMessage(Rect(4, 4, 8, 8)),
+        wire.ZoomRequestMessage(Rect(8, 8, width // 2, height // 2)),
+        wire.ZoomRequestMessage(Rect(0, 0, 0, 0)),
+        wire.HeartbeatMessage(7, 1.5),
+        wire.ReconnectRequestMessage(3, 41),
+    ]
+    corpus = [wire.encode_message(m) for m in msgs]
+    corpus.append(b"".join(corpus[:4]))
+    corpus.append(wire.wrap_checked(
+        wire.encode_message(wire.HeartbeatMessage(1, 0.5)), 9))
+    return corpus
+
+
+def load_crash_corpus(path: str) -> List[bytes]:
+    """All ``*.bin`` inputs under *path*, sorted by name for
+    deterministic replay order.  Missing directory → empty corpus."""
+    if not os.path.isdir(path):
+        return []
+    out = []
+    for name in sorted(os.listdir(path)):
+        if name.endswith(".bin"):
+            with open(os.path.join(path, name), "rb") as fh:
+                out.append(fh.read())
+    return out
+
+
+def save_crash(path: str, seed: int, index: int, data: bytes,
+               label: str = "crash") -> str:
+    """Persist a finding as ``<label>-s<seed>-<index>.bin`` under
+    *path* (created if needed); returns the file path."""
+    os.makedirs(path, exist_ok=True)
+    name = f"{label}-s{seed}-{index:04d}.bin"
+    full = os.path.join(path, name)
+    with open(full, "wb") as fh:
+        fh.write(data)
+    return full

@@ -1,0 +1,328 @@
+"""The live-rig fuzz harness.
+
+One fuzz run builds a real server rig — event loop, fluid transport,
+window server, an *honest* client running a scripted workload — and
+co-locates a hostile connection that feeds seed-driven mutated frames
+into the server's uplink for the whole scenario.  When the hostile
+session gets itself quarantined (by design it quickly will), the
+harness re-dials, exercising admission control and the typed denial
+path too.
+
+The contract checked after every run:
+
+* **liveness** — no exception escapes the event loop, and the run
+  drains to idle (a wedged parser or scheduling loop trips the event
+  budget instead of hanging CI);
+* **isolation** — the honest session ends pixel-identical to the
+  server screen *and* to an unfuzzed twin run of the same scenario
+  seed: hostile bytes may not perturb an honest co-resident session by
+  a single pixel;
+* **bounded memory** — every session's queue, audio/control backlog
+  and parser residue end within the governor's budget, and the session
+  table never exceeds the admission cap.
+
+Any violating input is written to the crash corpus (see
+:mod:`repro.fuzz.corpus`) where the test suite replays it forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import THINCClient, THINCServer
+from ..core.governor import AdmissionDenied, Budget, ServerBudget
+from ..display import WindowServer
+from ..net import Connection, EventLoop, LAN_DESKTOP
+from ..protocol.limits import LIMITS
+from ..region import Rect
+from . import corpus as corpus_mod
+from .mutator import Mutator
+
+__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz", "replay_corpus"]
+
+import numpy as np
+
+
+def _fuzz_budget() -> Budget:
+    """A deliberately tight budget so fuzz runs exercise the whole
+    response ladder, not just the decode layer."""
+    return Budget(
+        degrade_queue_bytes=256 << 10,
+        max_queue_bytes=1 << 20,
+        evict_queue_bytes=2 << 20,
+        max_audio_backlog_bytes=64 << 10,
+        max_control_backlog_bytes=256 << 10,
+        max_journal_bytes=1 << 20,
+        uplink_msgs_per_sec=2000.0,
+        uplink_burst=4000,
+    )
+
+
+@dataclass
+class FuzzConfig:
+    """One fuzz scenario; everything derives from ``seed``."""
+
+    seed: int = 1
+    cases: int = 500          # mutated inputs fed to the server
+    width: int = 96
+    height: int = 64
+    duration: float = 2.0     # seconds of simulated scenario time
+    drain: float = 30.0       # extra simulated time allowed to go idle
+    workload_seed: int = 7
+    workload_step: float = 0.05
+    redial_every: int = 8     # fresh hostile connection every N cases
+    max_redials: int = 4096   # hard cap on hostile re-attaches
+    crash_dir: Optional[str] = None
+    budget: Budget = field(default_factory=_fuzz_budget)
+    server_budget: ServerBudget = field(
+        default_factory=lambda: ServerBudget(max_sessions=8,
+                                             retry_after=0.25))
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run; ``ok`` is the headline verdict."""
+
+    seed: int = 0
+    cases: int = 0
+    new_signatures: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+    wire_errors: int = 0
+    uplink_throttled: int = 0
+    admission_denied: int = 0
+    redials: int = 0
+    end_time: float = 0.0
+    honest_identical: bool = False
+    twin_identical: bool = False
+    budget_ok: bool = False
+    failures: List[str] = field(default_factory=list)
+    crash_files: List[str] = field(default_factory=list)
+    mutation_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        line = (f"seed {self.seed}: {verdict} — {self.cases} cases, "
+                f"{self.new_signatures} signatures, "
+                f"{self.wire_errors} wire errors, "
+                f"{self.quarantined} quarantines, "
+                f"{self.admission_denied} admissions denied, "
+                f"honest pixel-identical={self.honest_identical}, "
+                f"twin-identical={self.twin_identical}, "
+                f"budget-compliant={self.budget_ok}")
+        for failure in self.failures:
+            line += f"\n  FAILURE: {failure}"
+        return line
+
+
+def _scripted_workload(loop: EventLoop, ws: WindowServer, end: float,
+                       step: float, seed: int) -> None:
+    """The chaos harness's deterministic mixed workload (fills, images,
+    glyph text, copies), duplicated here because src code cannot import
+    the test helpers.  Same seed → same draws at the same times."""
+    rng = np.random.default_rng(seed)
+    W, H = ws.screen.bounds.width, ws.screen.bounds.height
+    ws.fill_rect(ws.screen, ws.screen.bounds, (255, 255, 255, 255))
+    t = step
+    while t < end:
+        op = int(rng.integers(0, 4))
+        x, y = int(rng.integers(0, W - 16)), int(rng.integers(0, H - 16))
+        w, h = int(rng.integers(4, 16)), int(rng.integers(4, 16))
+        color = tuple(int(v) for v in rng.integers(0, 256, 3)) + (255,)
+        if op == 0:
+            loop.schedule_at(t, lambda r=Rect(x, y, w, h), c=color:
+                             ws.fill_rect(ws.screen, r, c))
+        elif op == 1:
+            img = rng.integers(0, 256, (h, w, 4), dtype=np.uint8)
+            loop.schedule_at(t, lambda r=Rect(x, y, w, h), i=img:
+                             ws.put_image(ws.screen, r, i))
+        elif op == 2:
+            loop.schedule_at(t, lambda x=x, y=y, c=color:
+                             ws.draw_text(ws.screen, x, y, "thinc", c))
+        else:
+            loop.schedule_at(t, lambda x=x, y=y:
+                             ws.copy_area(ws.screen, ws.screen,
+                                          Rect(0, 0, 24, 24), x, y))
+        t += step
+
+
+class _Rig:
+    """Loop + server + honest client, optionally with hostile traffic."""
+
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+        self.loop = EventLoop()
+        self.server = THINCServer(self.loop, config.width, config.height,
+                                  budget=config.budget,
+                                  server_budget=config.server_budget)
+        self.ws = WindowServer(config.width, config.height,
+                               driver=self.server.driver,
+                               clock=self.loop.clock)
+        self.honest_conn = Connection(self.loop, LAN_DESKTOP)
+        self.server.attach_client(self.honest_conn)
+        self.honest = THINCClient(self.loop, self.honest_conn)
+        _scripted_workload(self.loop, self.ws, config.duration,
+                           config.workload_step, config.workload_seed)
+
+    def run(self) -> float:
+        end = self.config.duration + self.config.drain
+        return self.loop.run_until_idle(max_time=end)
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Execute one fuzz scenario; never raises — all violations are
+    recorded in the report (and the crash corpus)."""
+    report = FuzzReport(seed=config.seed, cases=config.cases)
+
+    # Twin run first: the honest scenario with no hostile connection.
+    twin = _Rig(config)
+    twin.run()
+    twin_pixels = None
+    if twin.honest.fb is not None:
+        twin_pixels = twin.honest.fb.data.tobytes()
+
+    rig = _Rig(config)
+    mutator = Mutator(config.seed, corpus_mod.seed_corpus(
+        config.width, config.height))
+    state = {"conn": None, "sent": 0, "redials": 0, "case": None}
+
+    def dial_hostile() -> None:
+        conn = Connection(rig.loop, LAN_DESKTOP)
+        try:
+            rig.server.attach_client(conn)
+        except AdmissionDenied:
+            report.admission_denied += 1
+            return
+        state["conn"] = conn
+
+    def hostile_session():
+        for sess in rig.server.sessions:
+            if sess.connection is state["conn"]:
+                return sess
+        return None
+
+    def send_case() -> None:
+        if state["sent"] >= config.cases:
+            return
+        sess = hostile_session()
+        # Redial on a fresh connection every few cases: a single
+        # length-lying frame legally makes the parser wait for bytes
+        # that never come, and a stream fuzzer that never redials would
+        # hide every later case inside that phantom payload.
+        stale = state["sent"] % config.redial_every == 0
+        if (state["conn"] is None or sess is None or sess.quarantined
+                or stale) and state["redials"] < config.max_redials:
+            if sess is not None and sess in rig.server.sessions:
+                rig.server.detach_client(sess)
+            state["redials"] += 1
+            dial_hostile()
+        state["sent"] += 1
+        data = mutator.next_case()
+        state["case"] = data
+        conn = state["conn"]
+        if conn is not None:
+            room = conn.up.writable_bytes()
+            if room > 0:
+                conn.up.write(data[:room])
+        rig.loop.schedule(interval, send_case)
+
+    interval = config.duration / max(config.cases, 1)
+    rig.loop.schedule_at(0.0, send_case)
+
+    try:
+        report.end_time = rig.run()
+    except Exception as exc:  # noqa: BLE001 — the whole point: catch it all
+        report.failures.append(
+            f"exception escaped the event loop: {exc!r}")
+        if config.crash_dir is not None and state["case"] is not None:
+            report.crash_files.append(corpus_mod.save_crash(
+                config.crash_dir, config.seed, state["sent"],
+                state["case"]))
+
+    # -- verdicts -----------------------------------------------------------
+
+    gstats = rig.server.governor.stats
+    report.new_signatures = mutator.stats["new_signatures"]
+    report.mutation_stats = dict(mutator.stats)
+    report.quarantined = gstats.quarantined
+    report.evicted = gstats.evicted
+    report.wire_errors = gstats.wire_errors
+    report.uplink_throttled = gstats.uplink_throttled
+    report.admission_denied += gstats.admission_denied
+    report.redials = state["redials"]
+
+    honest_fb = rig.honest.fb
+    if honest_fb is None:
+        report.failures.append("honest client never got a framebuffer")
+    else:
+        report.honest_identical = honest_fb.same_as(rig.ws.screen.fb)
+        if not report.honest_identical:
+            report.failures.append(
+                "honest session diverged from the server screen")
+        report.twin_identical = (
+            twin_pixels is not None
+            and honest_fb.data.tobytes() == twin_pixels)
+        if not report.twin_identical:
+            report.failures.append(
+                "honest session differs from the unfuzzed twin run")
+
+    report.budget_ok = True
+    budget = config.budget
+    if len(rig.server.sessions) > config.server_budget.max_sessions:
+        report.budget_ok = False
+        report.failures.append("session table exceeded the admission cap")
+    for sess in rig.server.sessions:
+        checks = (
+            (sess.buffer.pending_bytes(), budget.evict_queue_bytes,
+             "command queue"),
+            (sess.audio_backlog_bytes, budget.max_audio_backlog_bytes,
+             "audio backlog"),
+            (sess.control_backlog_bytes, budget.max_control_backlog_bytes,
+             "control backlog"),
+            (sess._parser.pending_bytes, LIMITS.max_uplink_pending_bytes,
+             "parser residue"),
+        )
+        for value, cap, what in checks:
+            if value > cap:
+                report.budget_ok = False
+                report.failures.append(
+                    f"{what} ended at {value} bytes, budget is {cap}")
+    return report
+
+
+def replay_corpus(path: str, config: Optional[FuzzConfig] = None
+                  ) -> List[Tuple[str, FuzzReport]]:
+    """Replay every crash-corpus input as a tiny scenario of its own;
+    returns (filename, report) pairs.  An empty corpus replays clean."""
+    config = config or FuzzConfig()
+    out = []
+    for index, data in enumerate(corpus_mod.load_crash_corpus(path)):
+        cfg = FuzzConfig(seed=config.seed, cases=1, width=config.width,
+                         height=config.height, duration=0.5,
+                         budget=config.budget,
+                         server_budget=config.server_budget)
+        report = FuzzReport(seed=cfg.seed, cases=1)
+        rig = _Rig(cfg)
+        conn = Connection(rig.loop, LAN_DESKTOP)
+        try:
+            rig.server.attach_client(conn)
+            rig.loop.schedule_at(
+                0.0, lambda c=conn, d=data:
+                c.up.write(d[:c.up.writable_bytes()]))
+            report.end_time = rig.run()
+        except Exception as exc:  # noqa: BLE001
+            report.failures.append(
+                f"exception escaped the event loop: {exc!r}")
+        honest_fb = rig.honest.fb
+        if honest_fb is None or not honest_fb.same_as(rig.ws.screen.fb):
+            report.failures.append(
+                "honest session diverged from the server screen")
+        else:
+            report.honest_identical = True
+        out.append((f"case-{index:04d}", report))
+    return out

@@ -1,0 +1,163 @@
+"""Seed-driven mutation with outcome-signature coverage guidance.
+
+All randomness flows from one ``random.Random(seed)``: the same seed
+replays the same mutation sequence byte-for-byte, which is what lets a
+CI finding be reproduced locally with nothing but the seed number.
+
+Coverage guidance is AFL's trick scaled to this codebase: an input is
+interesting if it produced an *outcome signature* no earlier input
+produced.  The signature is computed by replaying the bytes through a
+fresh bounded :class:`~repro.protocol.wire.StreamParser` and recording
+(message types parsed, exception class raised, residue bucket of bytes
+left pending).  Interesting inputs join the mutation pool, so the
+fuzzer walks progressively deeper into the decoder instead of
+resampling the same shallow failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..protocol import wire
+from ..protocol.limits import LIMITS
+from ..protocol.spec import UPLINK_TYPE_IDS
+
+__all__ = ["Mutator", "CoveragePool", "outcome_signature"]
+
+Signature = Tuple[Tuple[str, ...], str, int]
+
+# Type ids worth swapping in: every uplink id, every downlink-only id
+# (must be rejected by direction), a display command, and junk.
+_SWAP_IDS = sorted(UPLINK_TYPE_IDS) + [1, 16, 22, 26, 31, 0, 99, 255]
+
+
+def outcome_signature(data: bytes) -> Signature:
+    """What happened when the server-side parser ate *data*.
+
+    Runs the same parser configuration the server uses for uplink
+    traffic, so signatures map one-to-one onto server-visible decode
+    outcomes.
+    """
+    parser = wire.StreamParser(
+        max_frame=LIMITS.max_uplink_frame_bytes,
+        max_pending=LIMITS.max_uplink_pending_bytes,
+        allowed=UPLINK_TYPE_IDS)
+    types: Set[str] = set()
+    exc_name = ""
+    try:
+        for msg in parser.feed(data):
+            types.add(type(msg).__name__)
+    except wire.ProtocolError as exc:
+        exc_name = type(exc).__name__
+    # Residue bucket: log2-ish scale of bytes left waiting for a frame
+    # that never completed (0, 1-8, 9-64, 65-512, ...).
+    pending = parser.pending_bytes
+    bucket = 0
+    while pending:
+        bucket += 1
+        pending >>= 3
+    return (tuple(sorted(types)), exc_name, bucket)
+
+
+class CoveragePool:
+    """Inputs that produced a signature nothing before them produced."""
+
+    def __init__(self, seeds: List[bytes]):
+        self.entries: List[bytes] = list(seeds)
+        self.seen: Set[Signature] = {outcome_signature(s) for s in seeds}
+
+    def offer(self, data: bytes) -> bool:
+        """Add *data* if its outcome is new; True when it was."""
+        sig = outcome_signature(data)
+        if sig in self.seen:
+            return False
+        self.seen.add(sig)
+        self.entries.append(data)
+        return True
+
+
+class Mutator:
+    """One deterministic stream of mutated inputs."""
+
+    STRATEGIES = ("bit_flip", "byte_noise", "truncate", "length_lie",
+                  "type_swap", "splice", "duplicate")
+
+    def __init__(self, seed: int, corpus: List[bytes],
+                 coverage: bool = True):
+        self.rng = random.Random(seed)
+        self.pool = CoveragePool(corpus)
+        self.coverage = coverage
+        self.stats = {name: 0 for name in self.STRATEGIES}
+        self.stats["new_signatures"] = 0
+
+    def _pick(self) -> bytes:
+        return self.rng.choice(self.pool.entries)
+
+    def next_case(self) -> bytes:
+        """Produce the next mutated input (and, under coverage
+        guidance, feed interesting outputs back into the pool)."""
+        name = self.rng.choice(self.STRATEGIES)
+        data = getattr(self, "_" + name)(bytearray(self._pick()))
+        self.stats[name] += 1
+        if self.coverage and self.pool.offer(bytes(data)):
+            self.stats["new_signatures"] += 1
+        return bytes(data)
+
+    # -- strategies (each takes/returns a mutable copy) ----------------------
+
+    def _bit_flip(self, buf: bytearray) -> bytearray:
+        for _ in range(self.rng.randint(1, 8)):
+            if not buf:
+                break
+            pos = self.rng.randrange(len(buf))
+            buf[pos] ^= 1 << self.rng.randrange(8)
+        return buf
+
+    def _byte_noise(self, buf: bytearray) -> bytearray:
+        for _ in range(self.rng.randint(1, 4)):
+            if not buf:
+                break
+            buf[self.rng.randrange(len(buf))] = self.rng.randrange(256)
+        return buf
+
+    def _truncate(self, buf: bytearray) -> bytearray:
+        if len(buf) > 1:
+            del buf[self.rng.randrange(1, len(buf)):]
+        return buf
+
+    def _length_lie(self, buf: bytearray) -> bytearray:
+        """Rewrite a frame's u32 length field to a lie: off-by-a-few
+        (payload/frame disagreement), huge (stall bait the max_frame
+        cap must catch), or zero."""
+        if len(buf) < wire.FRAME_OVERHEAD:
+            return buf
+        lie = self.rng.choice((
+            0,
+            self.rng.randint(1, 64),
+            LIMITS.max_uplink_frame_bytes,
+            LIMITS.max_uplink_frame_bytes + 1,
+            0x7FFFFFFF,
+            0xFFFFFFFF,
+        ))
+        buf[1:5] = lie.to_bytes(4, "big")
+        return buf
+
+    def _type_swap(self, buf: bytearray) -> bytearray:
+        if buf:
+            buf[0] = self.rng.choice(_SWAP_IDS)
+        return buf
+
+    def _splice(self, buf: bytearray) -> bytearray:
+        other = self._pick()
+        cut_a = self.rng.randint(0, len(buf))
+        cut_b = self.rng.randint(0, len(other))
+        return bytearray(bytes(buf[:cut_a]) + other[cut_b:])
+
+    def _duplicate(self, buf: bytearray) -> bytearray:
+        return buf + buf
+
+    def cases(self, count: int):
+        """Yield *count* mutated inputs."""
+        for _ in range(count):
+            yield self.next_case()

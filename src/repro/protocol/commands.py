@@ -75,8 +75,23 @@ def _pack_rect(rect: Rect) -> bytes:
 
 
 def _unpack_rect(data: bytes, offset: int) -> Tuple[Rect, int]:
+    _decode_need(data, offset, _RECT.size, "command rect")
     x, y, w, h = _RECT.unpack_from(data, offset)
     return Rect(x, y, w, h), offset + _RECT.size
+
+
+def _decode_need(data: bytes, offset: int, size: int, what: str) -> None:
+    """Decode bounds guard: *size* more bytes must exist at *offset*.
+
+    Raises a plain ValueError; the wire layer's frame dispatcher
+    re-raises decoder failures as ProtocolError, so command decoders
+    stay independent of the wire module (layering: wire imports
+    commands, not the reverse).
+    """
+    if offset + size > len(data):
+        raise ValueError(
+            f"truncated {what}: need {size} bytes at offset {offset}, "
+            f"have {len(data) - offset}")
 
 
 class Command:
@@ -277,12 +292,22 @@ class RawCommand(Command):
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "RawCommand":
         rect, offset = _unpack_rect(data, offset)
+        _decode_need(data, offset, _RAW_META.size, "RAW metadata")
         compressed, length = _RAW_META.unpack_from(data, offset)
         offset += _RAW_META.size
+        _decode_need(data, offset, length, "RAW payload")
         payload = data[offset : offset + length]
         if compressed:
             pixels = compression.png_decompress(payload)
+            if pixels.shape != (rect.height, rect.width, 4):
+                raise ValueError(
+                    f"RAW payload decompressed to {pixels.shape}, rect "
+                    f"is {rect!r}")
         else:
+            if length != rect.height * rect.width * 4:
+                raise ValueError(
+                    f"RAW payload is {length} bytes, rect {rect!r} "
+                    f"needs {rect.height * rect.width * 4}")
             pixels = np.frombuffer(payload, dtype=np.uint8).reshape(
                 rect.height, rect.width, 4)
         cmd = cls(rect, pixels, bool(compressed))
@@ -355,6 +380,7 @@ class CopyCommand(Command):
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "CopyCommand":
         rect, offset = _unpack_rect(data, offset)
+        _decode_need(data, offset, _COPY_SRC.size, "COPY source")
         sx, sy = _COPY_SRC.unpack_from(data, offset)
         return cls(sx, sy, rect)
 
@@ -465,9 +491,11 @@ class PFillCommand(Command):
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "PFillCommand":
         rect, offset = _unpack_rect(data, offset)
+        _decode_need(data, offset, _PFILL_META.size, "PFILL metadata")
         th, tw, oy, ox = _PFILL_META.unpack_from(data, offset)
         offset += _PFILL_META.size
         count = th * tw * 4
+        _decode_need(data, offset, count, "PFILL tile")
         tile = np.frombuffer(data[offset : offset + count],
                              dtype=np.uint8).reshape(th, tw, 4)
         # Reconstruct an absolute origin equivalent to the relative one.
@@ -563,6 +591,7 @@ class BitmapCommand(Command):
         bg = tuple(data[offset + 5 : offset + 9]) if has_bg else None
         offset += 9
         row_bytes = (rect.width + 7) // 8
+        _decode_need(data, offset, row_bytes * rect.height, "BITMAP mask")
         packed = np.frombuffer(
             data[offset : offset + row_bytes * rect.height], dtype=np.uint8
         ).reshape(rect.height, row_bytes)
@@ -625,9 +654,15 @@ class CompositeCommand(Command):
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "CompositeCommand":
         rect, offset = _unpack_rect(data, offset)
+        _decode_need(data, offset, _U32.size, "COMPOSITE metadata")
         (length,) = _U32.unpack_from(data, offset)
         start = offset + _U32.size
+        _decode_need(data, start, length, "COMPOSITE payload")
         pixels = compression.png_decompress(data[start : start + length])
+        if pixels.shape != (rect.height, rect.width, 4):
+            raise ValueError(
+                f"COMPOSITE payload decompressed to {pixels.shape}, "
+                f"rect is {rect!r}")
         cmd = cls(rect, pixels)
         return cmd
 
@@ -696,9 +731,13 @@ class VideoFrameCommand(Command):
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "VideoFrameCommand":
         rect, offset = _unpack_rect(data, offset)
+        _decode_need(data, offset, _VFRAME_META.size, "VFRAME metadata")
         stream_id, frame_no, fmt_id, sw, sh, length = (
             _VFRAME_META.unpack_from(data, offset))
         offset += _VFRAME_META.size
+        if fmt_id >= len(cls.PIXEL_FORMATS):
+            raise ValueError(f"unknown VFRAME pixel format id {fmt_id}")
+        _decode_need(data, offset, length, "VFRAME payload")
         return cls(stream_id, rect, sw, sh, data[offset : offset + length],
                    frame_no, cls.PIXEL_FORMATS[fmt_id])
 

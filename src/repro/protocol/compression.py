@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 import zlib
 
+from .limits import LIMITS
+
 __all__ = [
     "png_compress",
     "png_decompress",
@@ -118,18 +120,33 @@ def png_compress(pixels: np.ndarray, level: int = 6,
 
 
 def png_decompress(data: bytes) -> np.ndarray:
-    """Invert :func:`png_compress`."""
+    """Invert :func:`png_compress`.
+
+    Decompression is bounded by the geometry the header declares (and
+    the global decoded-pixel limit): the DEFLATE stream is only allowed
+    to produce ``h*w*c`` bytes, so a crafted payload cannot balloon a
+    small frame into gigabytes of output before the size check runs.
+    """
     if len(data) < 6:
         raise ValueError("truncated compressed pixel data")
     h = int.from_bytes(data[0:2], "big")
     w = int.from_bytes(data[2:4], "big")
     c = data[4]
     filter_id = data[5]
-    raw = zlib.decompress(data[6:])
     expected = h * w * c
-    if len(raw) != expected:
+    if expected > LIMITS.max_decoded_pixel_bytes:
         raise ValueError(
-            f"decompressed to {len(raw)} bytes, expected {expected}"
+            f"declared geometry {h}x{w}x{c} decodes to {expected} bytes, "
+            f"limit is {LIMITS.max_decoded_pixel_bytes}")
+    # Ask for at most one byte more than the geometry needs: a stream
+    # that still has output at expected+1 can only be oversized, and we
+    # reject it without ever materialising the excess.
+    dec = zlib.decompressobj()
+    raw = dec.decompress(data[6:], expected + 1)
+    if len(raw) != expected or dec.unconsumed_tail:
+        raise ValueError(
+            f"decompressed to more or fewer than the expected "
+            f"{expected} bytes"
         )
     filtered = np.frombuffer(raw, dtype=np.uint8).reshape(h, w * c).copy()
     if filter_id == _FILTER_IDS["up"]:

@@ -1,0 +1,75 @@
+"""Typed limits for bounded wire decoding.
+
+Single source of truth for every quantitative bound the hardened
+decode layer enforces (:mod:`repro.protocol.wire` raises a
+:class:`~repro.protocol.wire.ProtocolError` subclass the moment a
+frame exceeds one).  :mod:`repro.protocol.spec` re-exports the limits
+and renders them into the protocol reference so the numbers on the
+wire and the numbers in the docs cannot drift.
+
+The values are deliberately generous for honest traffic — every limit
+sits well above what the reference server or client ever emits — while
+still bounding the damage a hostile or broken peer can do: no frame
+may declare a multi-gigabyte payload, no cursor may allocate an
+unbounded pixel block, no compressed payload may expand past its
+declared geometry, and an uplink parser can never be wedged holding
+more than a small, fixed number of buffered bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WireLimits", "LIMITS"]
+
+
+@dataclass(frozen=True)
+class WireLimits:
+    """Hard bounds the decode layer enforces on every wire field.
+
+    ``LIMITS`` is the module-level instance every parser uses; tests
+    construct tighter instances to exercise the failure paths cheaply.
+    """
+
+    #: Largest payload a downlink frame header may declare.  A
+    #: corrupted or hostile length field past this raises instead of
+    #: stalling the stream parser forever on bytes that never come.
+    max_frame_bytes: int = 1 << 24
+
+    #: Largest payload an *uplink* (client-to-server) frame may
+    #: declare.  Legitimate uplink messages are all under 100 bytes;
+    #: the cap is generous but keeps a hostile client from parking
+    #: megabytes in the server's reassembly buffer.
+    max_uplink_frame_bytes: int = 1 << 16
+
+    #: Most bytes an uplink stream parser may hold buffered while
+    #: waiting for the rest of a frame (belt to the max-frame braces).
+    max_uplink_pending_bytes: int = 1 << 18
+
+    #: Cursor images are small by nature (hardware cursors top out at
+    #: 64x64; we allow far more).  Bounds the ``w*h*4`` allocation a
+    #: CURSOR_IMAGE decode performs.
+    max_cursor_dim: int = 512
+
+    #: Largest PCM block one AUDIO message may carry.
+    max_audio_chunk_bytes: int = 1 << 20
+
+    #: Video pixel-format strings are short ASCII tags ("YV12").
+    max_pixel_format_len: int = 16
+
+    #: Largest width/height a RESIZE / SCREEN_INIT / VSETUP message
+    #: may claim for a viewport or source geometry.
+    max_viewport_dim: int = 16384
+
+    #: Largest expansion a compressed RAW/COMPOSITE payload may
+    #: declare; bounds the decompression output buffer so a deflate
+    #: bomb cannot balloon a 16 MB frame into gigabytes of pixels.
+    max_decoded_pixel_bytes: int = 1 << 26
+
+    #: Ceiling on the ``retry_after`` a denial message may carry, so a
+    #: lying server cannot park a client in permanent backoff.
+    max_retry_after: float = 86400.0
+
+
+#: The limits every production parser runs under.
+LIMITS = WireLimits()

@@ -15,8 +15,17 @@ from typing import List
 
 from . import commands as _commands
 from . import wire as _wire
+from .limits import LIMITS, WireLimits
 
-__all__ = ["MessageSpec", "PROTOCOL_SPEC", "render_protocol_reference"]
+__all__ = [
+    "MessageSpec",
+    "PROTOCOL_SPEC",
+    "WireLimits",
+    "LIMITS",
+    "UPLINK_TYPE_IDS",
+    "DOWNLINK_TYPE_IDS",
+    "render_protocol_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -169,7 +178,28 @@ PROTOCOL_SPEC: List[MessageSpec] = [
         "retry_after seconds from now.",
         "retry_after[f64]",
         _wire.ReconnectDeniedMessage),
+    MessageSpec(
+        "ATTACH_DENIED", 31, "s->c", "(extension: governance)",
+        "Typed admission push-back on the plain attach path: the "
+        "server's governor is out of global budget (reason 0), the "
+        "session exhausted its own budget (1), or the session was "
+        "quarantined for protocol abuse (2); retry no sooner than "
+        "retry_after seconds from now.",
+        "reason[u8] retry_after[f64]",
+        _wire.AttachDeniedMessage),
 ]
+
+#: Type ids a client may legitimately send to the server.  The
+#: server's uplink parser rejects everything else at the frame header,
+#: before any payload decode runs.
+UPLINK_TYPE_IDS = frozenset(
+    spec.type_id for spec in PROTOCOL_SPEC if spec.direction == "c->s")
+
+#: Type ids the server may send to a client.  HEARTBEAT rides both
+#: directions (either side may beacon), so it appears in both sets.
+DOWNLINK_TYPE_IDS = frozenset(
+    spec.type_id for spec in PROTOCOL_SPEC
+    if spec.direction == "s->c") | {_wire.HeartbeatMessage.type_id}
 
 
 def render_protocol_reference() -> str:
@@ -196,4 +226,17 @@ def render_protocol_reference() -> str:
         lines.append("")
         lines.append(spec.summary)
         lines.append("")
+    lines += [
+        "## Decode limits",
+        "",
+        "Hard bounds the decode layer (`repro.protocol.wire`) enforces",
+        "on every frame; exceeding one raises a `ProtocolError`",
+        "subclass. Defined in `repro.protocol.limits`.",
+        "",
+        "| limit | value |",
+        "|---|---|",
+    ]
+    for field in sorted(vars(LIMITS)):
+        lines.append(f"| `{field}` | {getattr(LIMITS, field)} |")
+    lines.append("")
     return "\n".join(lines)

@@ -12,17 +12,30 @@ this module adds the stream-control and session messages: video stream
 lifecycle (Section 4.2), audio chunks with server-side timestamps,
 client input events, the client's viewport-size report that drives
 server-side scaling (Section 6), and the initial screen geometry.
+
+**Bounded decoding.**  Every ``decode_payload`` validates lengths,
+dimensions and enum ranges against the typed limits in
+:mod:`repro.protocol.limits` *before* touching the bytes, and raises a
+:class:`ProtocolError` subclass — never ``struct.error``, a numpy
+shape explosion, or silent garbage.  The parse entry points
+(:func:`parse_messages`, :class:`StreamParser`) uphold the same
+contract for the display-command family by translating their decoder
+failures into :class:`ProtocolError`.  Receivers can therefore treat
+``except ProtocolError`` as the complete failure surface of a
+malformed stream.
 """
 
 from __future__ import annotations
 
+import math
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Collection, Optional, Union
 
 from ..region import Rect
 from .commands import Command, decode_command
+from .limits import LIMITS
 
 __all__ = [
     "StreamParser",
@@ -41,14 +54,21 @@ __all__ = [
     "ReconnectRequestMessage",
     "ReconnectAcceptMessage",
     "ReconnectDeniedMessage",
+    "AttachDeniedMessage",
     "ProtocolError",
     "ChecksumError",
+    "TruncatedPayloadError",
+    "FrameTooLargeError",
+    "FieldRangeError",
     "Message",
     "FRAME_OVERHEAD",
     "CHECKED_OVERHEAD",
     "RESYNC_FRESH",
     "RESYNC_REPLAY",
     "RESYNC_SNAPSHOT",
+    "DENY_SERVER_FULL",
+    "DENY_SESSION_BUDGET",
+    "DENY_QUARANTINED",
     "frame_message",
     "parse_messages",
     "encode_message",
@@ -69,6 +89,19 @@ class ProtocolError(ValueError):
 class ChecksumError(ProtocolError):
     """A CHECKED frame whose payload fails its CRC — corruption on the
     wire reached the parser."""
+
+
+class TruncatedPayloadError(ProtocolError):
+    """A payload shorter (or longer) than its message layout requires."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A length field declares more bytes than the typed limit allows."""
+
+
+class FieldRangeError(ProtocolError):
+    """A decoded field is outside its legal range (bad enum id,
+    impossible dimension, non-finite float)."""
 
 
 _FRAME = struct.Struct(">BI")
@@ -103,6 +136,7 @@ _HEARTBEAT = 27
 _RECONNECT_REQ = 28
 _RECONNECT_ACCEPT = 29
 _RECONNECT_DENIED = 30
+_ATTACH_DENIED = 31
 
 _INPUT_KINDS = ("mouse-move", "mouse-click", "key")
 
@@ -112,6 +146,7 @@ _HEARTBEAT_BODY = struct.Struct(">Id")
 _RECONNECT_BODY = struct.Struct(">II")
 _ACCEPT_BODY = struct.Struct(">IB")
 _DENIED_BODY = struct.Struct(">d")
+_ATTACH_DENIED_BODY = struct.Struct(">Bd")
 
 # Extra bytes a CHECKED wrapper adds around an already-framed message:
 # its own [type u8][len u32] header plus crc32[u32] and seq[u32].
@@ -121,6 +156,40 @@ CHECKED_OVERHEAD = _FRAME.size + 2 * _U32.size
 RESYNC_FRESH = 0  # brand-new session: full state follows anyway
 RESYNC_REPLAY = 1  # unacked frames replayed from the session log
 RESYNC_SNAPSHOT = 2  # log/queue was dropped: region-chunked RAW refresh
+
+# Admission-denial reasons carried by AttachDeniedMessage.
+DENY_SERVER_FULL = 0  # global session or byte budget exhausted
+DENY_SESSION_BUDGET = 1  # this session exceeded its resource budget
+DENY_QUARANTINED = 2  # the session was quarantined for protocol abuse
+
+_DENY_REASONS = (DENY_SERVER_FULL, DENY_SESSION_BUDGET, DENY_QUARANTINED)
+
+
+def _need(data: bytes, size: int, what: str) -> None:
+    """Bounds guard: *data* must hold at least *size* bytes."""
+    if len(data) < size:
+        raise TruncatedPayloadError(
+            f"{what}: need {size} bytes, have {len(data)}")
+
+
+def _exactly(data: bytes, size: int, what: str) -> None:
+    """Bounds guard: *data* must be exactly *size* bytes.
+
+    Fixed-layout messages reject trailing garbage too — excess bytes
+    mean the sender and receiver disagree about the layout, and silent
+    tolerance would let that disagreement fester.
+    """
+    if len(data) != size:
+        raise TruncatedPayloadError(
+            f"{what}: payload is {len(data)} bytes, layout needs {size}")
+
+
+def _finite(value: float, what: str) -> float:
+    """Range guard: a wire float must be finite (NaN/inf poison clocks
+    and backoff arithmetic downstream)."""
+    if not math.isfinite(value):
+        raise FieldRangeError(f"{what}: {value!r} is not a finite number")
+    return value
 
 
 @dataclass(frozen=True)
@@ -143,9 +212,23 @@ class VideoSetupMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoSetupMessage":
+        _need(data, _VSETUP_HDR.size, "VSETUP header")
         sid, fmt_len, sw, sh, x, y, w, h = _VSETUP_HDR.unpack_from(data)
+        if fmt_len > LIMITS.max_pixel_format_len:
+            raise FieldRangeError(
+                f"VSETUP format tag of {fmt_len} bytes exceeds "
+                f"{LIMITS.max_pixel_format_len}")
+        if not (1 <= sw <= LIMITS.max_viewport_dim
+                and 1 <= sh <= LIMITS.max_viewport_dim):
+            raise FieldRangeError(
+                f"VSETUP source geometry {sw}x{sh} out of range")
         start = _VSETUP_HDR.size
-        fmt = data[start : start + fmt_len].decode("ascii")
+        _exactly(data, start + fmt_len, "VSETUP")
+        try:
+            fmt = data[start : start + fmt_len].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise FieldRangeError(
+                f"VSETUP format tag is not ASCII: {exc}") from exc
         return cls(sid, fmt, sw, sh, Rect(x, y, w, h))
 
 
@@ -164,6 +247,7 @@ class VideoMoveMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoMoveMessage":
+        _exactly(data, _VMOVE_BODY.size, "VMOVE")
         sid, x, y, w, h = _VMOVE_BODY.unpack_from(data)
         return cls(sid, Rect(x, y, w, h))
 
@@ -181,6 +265,7 @@ class VideoTeardownMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "VideoTeardownMessage":
+        _exactly(data, _STREAM_ID.size, "VTEARDOWN")
         (sid,) = _STREAM_ID.unpack_from(data)
         return cls(sid)
 
@@ -199,8 +284,13 @@ class AudioChunkMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "AudioChunkMessage":
+        _need(data, _TIMESTAMP.size, "AUDIO header")
+        if len(data) - _TIMESTAMP.size > LIMITS.max_audio_chunk_bytes:
+            raise FrameTooLargeError(
+                f"AUDIO chunk of {len(data) - _TIMESTAMP.size} bytes "
+                f"exceeds {LIMITS.max_audio_chunk_bytes}")
         (ts,) = _TIMESTAMP.unpack_from(data)
-        return cls(ts, data[_TIMESTAMP.size:])
+        return cls(_finite(ts, "AUDIO timestamp"), data[_TIMESTAMP.size:])
 
 
 @dataclass(frozen=True)
@@ -220,10 +310,11 @@ class InputMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "InputMessage":
+        _exactly(data, _INPUT_BODY.size, "INPUT")
         kind_id, x, y, t = _INPUT_BODY.unpack_from(data)
         if kind_id >= len(_INPUT_KINDS):
-            raise ValueError(f"unknown input kind id {kind_id}")
-        return cls(_INPUT_KINDS[kind_id], x, y, t)
+            raise FieldRangeError(f"unknown input kind id {kind_id}")
+        return cls(_INPUT_KINDS[kind_id], x, y, _finite(t, "INPUT time"))
 
 
 @dataclass(frozen=True)
@@ -240,7 +331,11 @@ class ResizeMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ResizeMessage":
+        _exactly(data, _SIZE_PAIR.size, "RESIZE")
         w, h = _SIZE_PAIR.unpack_from(data)
+        if not (1 <= w <= LIMITS.max_viewport_dim
+                and 1 <= h <= LIMITS.max_viewport_dim):
+            raise FieldRangeError(f"RESIZE viewport {w}x{h} out of range")
         return cls(w, h)
 
 
@@ -268,8 +363,15 @@ class CursorImageMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "CursorImageMessage":
+        _need(data, _CURSOR_HDR.size, "CURSOR_IMAGE header")
         hx, hy, w, h = _CURSOR_HDR.unpack_from(data)
+        if not (1 <= w <= LIMITS.max_cursor_dim
+                and 1 <= h <= LIMITS.max_cursor_dim):
+            raise FieldRangeError(
+                f"CURSOR_IMAGE dimensions {w}x{h} out of range "
+                f"(limit {LIMITS.max_cursor_dim})")
         start = _CURSOR_HDR.size
+        _exactly(data, start + w * h * 4, "CURSOR_IMAGE")
         return cls(hx, hy, w, h, data[start : start + w * h * 4])
 
 
@@ -279,7 +381,9 @@ class RefreshRequestMessage:
 
     Sent after client-side state loss (a suspend/resume, a corrupted
     blit) — the server answers with RAW content for the region, in
-    *server* coordinates (the client converts from its viewport).
+    *server* coordinates (the client converts from its viewport).  The
+    server clamps the rect to its framebuffer; the wire layer only
+    checks the layout.
     """
 
     rect: Rect
@@ -291,6 +395,7 @@ class RefreshRequestMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "RefreshRequestMessage":
+        _exactly(data, _RECT_BODY.size, "REFRESH")
         x, y, w, h = _RECT_BODY.unpack_from(data)
         return cls(Rect(x, y, w, h))
 
@@ -314,6 +419,7 @@ class ZoomRequestMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ZoomRequestMessage":
+        _exactly(data, _RECT_BODY.size, "ZOOM")
         x, y, w, h = _RECT_BODY.unpack_from(data)
         return cls(Rect(x, y, w, h))
 
@@ -332,7 +438,12 @@ class ScreenInitMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ScreenInitMessage":
+        _exactly(data, _SIZE_PAIR.size, "SCREEN_INIT")
         w, h = _SIZE_PAIR.unpack_from(data)
+        if not (1 <= w <= LIMITS.max_viewport_dim
+                and 1 <= h <= LIMITS.max_viewport_dim):
+            raise FieldRangeError(
+                f"SCREEN_INIT geometry {w}x{h} out of range")
         return cls(w, h)
 
 
@@ -362,13 +473,21 @@ class CheckedFrame:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "CheckedFrame":
-        if len(data) < 2 * _U32.size:
-            raise ProtocolError("truncated CHECKED frame")
+        if len(data) < 2 * _U32.size + _FRAME.size:
+            raise TruncatedPayloadError(
+                f"CHECKED frame of {len(data)} bytes cannot hold its "
+                f"checksum, sequence and an inner frame")
         (crc,) = _U32.unpack_from(data)
         body = data[_U32.size:]
         if zlib.crc32(body) & 0xFFFFFFFF != crc:
             raise ChecksumError(
                 f"CHECKED frame failed CRC over {len(body)} bytes")
+        # Reject nesting before recursing: a stream of CHECKED-in-
+        # CHECKED wrappers costs 13 bytes per level, so a single large
+        # frame could otherwise drive the decoder thousands of stack
+        # frames deep and surface as RecursionError, not ProtocolError.
+        if body[_U32.size] == _CHECKED:
+            raise FieldRangeError("CHECKED frames may not nest")
         (seq,) = _U32.unpack_from(body)
         inner = parse_messages(body[_U32.size:])
         if len(inner) != 1:
@@ -396,8 +515,9 @@ class HeartbeatMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "HeartbeatMessage":
+        _exactly(data, _HEARTBEAT_BODY.size, "HEARTBEAT")
         last_seq, t = _HEARTBEAT_BODY.unpack_from(data)
-        return cls(last_seq, t)
+        return cls(last_seq, _finite(t, "HEARTBEAT time"))
 
 
 @dataclass(frozen=True)
@@ -419,6 +539,7 @@ class ReconnectRequestMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ReconnectRequestMessage":
+        _exactly(data, _RECONNECT_BODY.size, "RECONNECT_REQ")
         token, last_seq = _RECONNECT_BODY.unpack_from(data)
         return cls(token, last_seq)
 
@@ -438,7 +559,10 @@ class ReconnectAcceptMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ReconnectAcceptMessage":
+        _exactly(data, _ACCEPT_BODY.size, "RECONNECT_ACCEPT")
         token, resync = _ACCEPT_BODY.unpack_from(data)
+        if resync not in (RESYNC_FRESH, RESYNC_REPLAY, RESYNC_SNAPSHOT):
+            raise FieldRangeError(f"unknown resync mode {resync}")
         return cls(token, resync)
 
 
@@ -455,8 +579,47 @@ class ReconnectDeniedMessage:
 
     @classmethod
     def decode_payload(cls, data: bytes) -> "ReconnectDeniedMessage":
+        _exactly(data, _DENIED_BODY.size, "RECONNECT_DENIED")
         (retry_after,) = _DENIED_BODY.unpack_from(data)
+        _finite(retry_after, "RECONNECT_DENIED retry_after")
+        if not 0.0 <= retry_after <= LIMITS.max_retry_after:
+            raise FieldRangeError(
+                f"retry_after {retry_after} outside "
+                f"[0, {LIMITS.max_retry_after}]")
         return cls(retry_after)
+
+
+@dataclass(frozen=True)
+class AttachDeniedMessage:
+    """Typed admission push-back on the plain attach path.
+
+    The server's governor rejects an ``attach_client`` past the global
+    admission budget (or evicts a session for exhausting its own) by
+    writing this message before releasing the connection, so a
+    well-behaved client learns *why* it was turned away and when a
+    retry is worth the dial instead of diagnosing a silent hangup.
+    """
+
+    reason: int  # DENY_SERVER_FULL / DENY_SESSION_BUDGET / DENY_QUARANTINED
+    retry_after: float
+
+    type_id = _ATTACH_DENIED
+
+    def encode_payload(self) -> bytes:
+        return _ATTACH_DENIED_BODY.pack(self.reason, self.retry_after)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "AttachDeniedMessage":
+        _exactly(data, _ATTACH_DENIED_BODY.size, "ATTACH_DENIED")
+        reason, retry_after = _ATTACH_DENIED_BODY.unpack_from(data)
+        if reason not in _DENY_REASONS:
+            raise FieldRangeError(f"unknown denial reason {reason}")
+        _finite(retry_after, "ATTACH_DENIED retry_after")
+        if not 0.0 <= retry_after <= LIMITS.max_retry_after:
+            raise FieldRangeError(
+                f"retry_after {retry_after} outside "
+                f"[0, {LIMITS.max_retry_after}]")
+        return cls(reason, retry_after)
 
 
 _CONTROL_TYPES = {
@@ -466,14 +629,16 @@ _CONTROL_TYPES = {
                 ScreenInitMessage, CursorImageMessage,
                 RefreshRequestMessage, ZoomRequestMessage,
                 CheckedFrame, HeartbeatMessage, ReconnectRequestMessage,
-                ReconnectAcceptMessage, ReconnectDeniedMessage)
+                ReconnectAcceptMessage, ReconnectDeniedMessage,
+                AttachDeniedMessage)
 }
 
 Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
                 VideoTeardownMessage, AudioChunkMessage, InputMessage,
                 ResizeMessage, ScreenInitMessage, CheckedFrame,
                 HeartbeatMessage, ReconnectRequestMessage,
-                ReconnectAcceptMessage, ReconnectDeniedMessage]
+                ReconnectAcceptMessage, ReconnectDeniedMessage,
+                AttachDeniedMessage]
 
 
 def encode_message(msg: Message) -> bytes:
@@ -501,24 +666,45 @@ def wrap_checked(framed: bytes, seq: int) -> bytes:
         _CHECKED, _U32.pack(zlib.crc32(body) & 0xFFFFFFFF) + body)
 
 
+def _decode_frame(type_id: int, payload: bytes):
+    """Decode one frame's payload, upholding the ProtocolError contract.
+
+    Control messages enforce it natively through their hardened
+    ``decode_payload``; the display-command decoders predate the typed
+    error surface and can still fail with ``struct.error`` on a short
+    buffer, ``zlib.error`` on a corrupt DEFLATE stream, or a numpy
+    ``ValueError`` on an impossible shape — all of which become
+    :class:`ProtocolError` here, so receivers have exactly one
+    exception family to guard against.
+    """
+    if type_id in _CONTROL_TYPES:
+        return _CONTROL_TYPES[type_id].decode_payload(payload)
+    try:
+        # Display command: restore the leading type byte.
+        return decode_command(bytes([type_id]) + payload)
+    except ProtocolError:
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError,
+            struct.error, zlib.error) as exc:
+        raise ProtocolError(
+            f"malformed display command (type {type_id}): {exc}") from exc
+
+
 def parse_messages(data: bytes):
-    """Parse a byte stream into messages; raises on truncation."""
+    """Parse a byte stream into messages; raises ProtocolError on any
+    truncation or malformed payload."""
     out = []
     offset = 0
     while offset < len(data):
         if offset + _FRAME.size > len(data):
-            raise ValueError("truncated message frame")
+            raise TruncatedPayloadError("truncated message frame")
         type_id, length = _FRAME.unpack_from(data, offset)
         offset += _FRAME.size
         if offset + length > len(data):
-            raise ValueError("truncated message payload")
+            raise TruncatedPayloadError("truncated message payload")
         payload = data[offset : offset + length]
         offset += length
-        if type_id in _CONTROL_TYPES:
-            out.append(_CONTROL_TYPES[type_id].decode_payload(payload))
-        else:
-            # Display command: restore the leading type byte.
-            out.append(decode_command(bytes([type_id]) + payload))
+        out.append(_decode_frame(type_id, payload))
     return out
 
 
@@ -532,37 +718,57 @@ class StreamParser:
     ``max_frame`` bounds the length field a frame may declare: a
     corrupted header could otherwise announce a multi-gigabyte payload
     and silently stall the stream forever while the parser waits for
-    bytes that will never come.  Receivers that expect corruption (the
-    resilient client) set it; the default keeps legacy behaviour.
+    bytes that will never come.  It defaults to the typed limit in
+    :mod:`repro.protocol.limits`; pass ``None`` only for trusted
+    in-process streams.  ``max_pending`` additionally bounds the bytes
+    buffered while waiting for a frame to complete, and ``allowed``
+    restricts the acceptable type ids (the server's uplink parser uses
+    it to reject server-to-client message types a client has no
+    business sending).
     """
 
-    def __init__(self, max_frame: Optional[int] = None) -> None:
+    def __init__(self, max_frame: Optional[int] = LIMITS.max_frame_bytes,
+                 max_pending: Optional[int] = None,
+                 allowed: Optional[Collection[int]] = None) -> None:
         self._buffer = bytearray()
         self.max_frame = max_frame
+        self.max_pending = max_pending
+        self.allowed = frozenset(allowed) if allowed is not None else None
 
     def feed(self, chunk: bytes):
         """Absorb a chunk and return the messages completed by it."""
         self._buffer.extend(chunk)
         out = []
         offset = 0
-        while True:
-            if offset + _FRAME.size > len(self._buffer):
-                break
-            type_id, length = _FRAME.unpack_from(self._buffer, offset)
-            if self.max_frame is not None and length > self.max_frame:
-                raise ProtocolError(
-                    f"frame declares {length} byte payload, cap is "
-                    f"{self.max_frame} — corrupted length field")
-            end = offset + _FRAME.size + length
-            if end > len(self._buffer):
-                break
-            payload = bytes(self._buffer[offset + _FRAME.size : end])
-            if type_id in _CONTROL_TYPES:
-                out.append(_CONTROL_TYPES[type_id].decode_payload(payload))
-            else:
-                out.append(decode_command(bytes([type_id]) + payload))
-            offset = end
-        del self._buffer[:offset]
+        try:
+            while True:
+                if offset + _FRAME.size > len(self._buffer):
+                    break
+                type_id, length = _FRAME.unpack_from(self._buffer, offset)
+                if self.max_frame is not None and length > self.max_frame:
+                    raise FrameTooLargeError(
+                        f"frame declares {length} byte payload, cap is "
+                        f"{self.max_frame} — corrupted length field")
+                if self.allowed is not None and type_id not in self.allowed:
+                    raise FieldRangeError(
+                        f"message type {type_id} is not acceptable on "
+                        f"this stream direction")
+                end = offset + _FRAME.size + length
+                if end > len(self._buffer):
+                    break
+                payload = bytes(self._buffer[offset + _FRAME.size : end])
+                out.append(_decode_frame(type_id, payload))
+                offset = end
+        finally:
+            # Consume what parsed even when a later frame raises, so a
+            # resilient receiver that resets on ProtocolError does not
+            # re-parse (and re-apply) the messages that preceded it.
+            del self._buffer[:offset]
+        if self.max_pending is not None and \
+                len(self._buffer) > self.max_pending:
+            raise FrameTooLargeError(
+                f"{len(self._buffer)} bytes buffered awaiting a frame, "
+                f"cap is {self.max_pending}")
         return out
 
     @property

@@ -1,0 +1,194 @@
+"""Property tests for the hardened wire codec.
+
+Two laws, checked for *every* control-message class in wire.py:
+
+1. encode → decode is the identity (framed through the real stream
+   machinery, not just ``decode_payload``);
+2. any mutation of valid framed bytes either parses or raises
+   :class:`~repro.protocol.wire.ProtocolError` — never ``struct.error``,
+   ``IndexError``, ``UnicodeDecodeError`` or silent garbage.
+
+Plus deterministic spot checks for each typed limit in
+``repro.protocol.limits``.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import wire
+from repro.protocol.limits import LIMITS
+from repro.protocol.spec import UPLINK_TYPE_IDS
+from repro.region import Rect
+
+u16 = st.integers(0, 0xFFFF)
+u32 = st.integers(0, 0xFFFFFFFF)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+rects = st.builds(Rect, u16, u16, u16, u16)
+viewport_dims = st.integers(1, LIMITS.max_viewport_dim)
+retry_after = st.floats(0.0, float(LIMITS.max_retry_after),
+                        allow_nan=False, width=64)
+ascii_fmt = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=LIMITS.max_pixel_format_len)
+
+
+def _cursor_messages():
+    def build(dims):
+        w, h = dims
+        return st.builds(wire.CursorImageMessage, u16, u16,
+                         st.just(w), st.just(h),
+                         st.binary(min_size=w * h * 4, max_size=w * h * 4))
+    return st.tuples(st.integers(1, 8), st.integers(1, 8)).flatmap(build)
+
+
+#: One strategy per control-message class (CheckedFrame added below).
+STRATEGIES = {
+    wire.VideoSetupMessage: st.builds(
+        wire.VideoSetupMessage, u16, ascii_fmt, viewport_dims,
+        viewport_dims, rects),
+    wire.VideoMoveMessage: st.builds(wire.VideoMoveMessage, u16, rects),
+    wire.VideoTeardownMessage: st.builds(wire.VideoTeardownMessage, u16),
+    wire.AudioChunkMessage: st.builds(
+        wire.AudioChunkMessage, finite, st.binary(max_size=256)),
+    wire.InputMessage: st.builds(
+        wire.InputMessage, st.sampled_from(wire._INPUT_KINDS), u16, u16,
+        finite),
+    wire.ResizeMessage: st.builds(
+        wire.ResizeMessage, viewport_dims, viewport_dims),
+    wire.CursorImageMessage: _cursor_messages(),
+    wire.RefreshRequestMessage: st.builds(wire.RefreshRequestMessage,
+                                          rects),
+    wire.ZoomRequestMessage: st.builds(wire.ZoomRequestMessage, rects),
+    wire.ScreenInitMessage: st.builds(
+        wire.ScreenInitMessage, viewport_dims, viewport_dims),
+    wire.HeartbeatMessage: st.builds(wire.HeartbeatMessage, u32, finite),
+    wire.ReconnectRequestMessage: st.builds(
+        wire.ReconnectRequestMessage, u32, u32),
+    wire.ReconnectAcceptMessage: st.builds(
+        wire.ReconnectAcceptMessage, u32,
+        st.sampled_from((wire.RESYNC_FRESH, wire.RESYNC_REPLAY,
+                         wire.RESYNC_SNAPSHOT))),
+    wire.ReconnectDeniedMessage: st.builds(
+        wire.ReconnectDeniedMessage, retry_after),
+    wire.AttachDeniedMessage: st.builds(
+        wire.AttachDeniedMessage,
+        st.sampled_from((wire.DENY_SERVER_FULL, wire.DENY_SESSION_BUDGET,
+                         wire.DENY_QUARANTINED)),
+        retry_after),
+}
+STRATEGIES[wire.CheckedFrame] = st.builds(
+    wire.CheckedFrame, u32, st.one_of(*STRATEGIES.values()))
+
+messages = st.one_of(*STRATEGIES.values())
+
+
+def test_every_control_class_has_a_strategy():
+    """The property tests cover the codec exhaustively: adding a wire
+    message class without a strategy here is a test failure."""
+    assert set(STRATEGIES) == set(wire._CONTROL_TYPES.values())
+
+
+@settings(max_examples=200, deadline=None)
+@given(msg=messages)
+def test_encode_decode_identity(msg):
+    framed = wire.encode_message(msg)
+    assert wire.parse_messages(framed) == [msg]
+
+
+@settings(max_examples=300, deadline=None)
+@given(msg=messages, data=st.data())
+def test_mutated_frames_raise_only_protocol_error(msg, data):
+    buf = bytearray(wire.encode_message(msg))
+    for _ in range(data.draw(st.integers(1, 6))):
+        mode = data.draw(st.sampled_from(("flip", "set", "truncate",
+                                          "extend")))
+        if mode == "flip" and buf:
+            pos = data.draw(st.integers(0, len(buf) - 1))
+            buf[pos] ^= 1 << data.draw(st.integers(0, 7))
+        elif mode == "set" and buf:
+            pos = data.draw(st.integers(0, len(buf) - 1))
+            buf[pos] = data.draw(st.integers(0, 255))
+        elif mode == "truncate" and len(buf) > 1:
+            del buf[data.draw(st.integers(1, len(buf) - 1)):]
+        elif mode == "extend":
+            buf += data.draw(st.binary(max_size=16))
+    parser = wire.StreamParser()
+    try:
+        for _ in parser.feed(bytes(buf)):
+            pass
+    except wire.ProtocolError:
+        pass  # the only exception family the contract allows
+
+
+class TestTypedLimits:
+    """Deterministic spot checks, one per decode limit."""
+
+    def test_truncated_payload_is_typed(self):
+        framed = wire.encode_message(wire.ResizeMessage(64, 48))
+        with pytest.raises(wire.ProtocolError):
+            wire.parse_messages(framed[:-1])
+
+    def test_trailing_garbage_is_typed(self):
+        msg = wire.HeartbeatMessage(1, 2.0)
+        framed = wire.frame_message(msg.type_id,
+                                    msg.encode_payload() + b"!")
+        with pytest.raises(wire.ProtocolError):
+            wire.parse_messages(framed)
+
+    def test_lying_length_field_trips_frame_cap(self):
+        huge = wire.frame_message(wire.HeartbeatMessage.type_id, b"")
+        buf = bytearray(huge)
+        buf[1:5] = struct.pack(">I", LIMITS.max_frame_bytes + 1)
+        parser = wire.StreamParser()
+        with pytest.raises(wire.FrameTooLargeError):
+            parser.feed(bytes(buf))
+
+    def test_pending_cap_bounds_parser_memory(self):
+        parser = wire.StreamParser(max_pending=64)
+        header = struct.pack(">BI", wire.HeartbeatMessage.type_id, 1 << 20)
+        with pytest.raises(wire.FrameTooLargeError):
+            parser.feed(header + b"\x00" * 64)
+
+    def test_disallowed_type_id_is_rejected(self):
+        parser = wire.StreamParser(allowed=UPLINK_TYPE_IDS)
+        framed = wire.encode_message(wire.ScreenInitMessage(64, 48))
+        with pytest.raises(wire.FieldRangeError):
+            parser.feed(framed)
+
+    def test_nested_checked_frames_rejected(self):
+        inner = wire.wrap_checked(
+            wire.encode_message(wire.HeartbeatMessage(1, 0.5)), 2)
+        nested = wire.wrap_checked(inner, 3)
+        with pytest.raises(wire.FieldRangeError):
+            wire.parse_messages(nested)
+
+    def test_cursor_dimension_limit(self):
+        dim = LIMITS.max_cursor_dim + 1
+        payload = struct.pack(">HHHH", 0, 0, dim, dim)
+        with pytest.raises(wire.FieldRangeError):
+            wire.CursorImageMessage.decode_payload(payload)
+
+    def test_audio_chunk_limit(self):
+        payload = struct.pack(">d", 0.0) + b"\x00" * (
+            LIMITS.max_audio_chunk_bytes + 1)
+        with pytest.raises(wire.FrameTooLargeError):
+            wire.AudioChunkMessage.decode_payload(payload)
+
+    def test_non_finite_float_is_rejected(self):
+        payload = struct.pack(">Id", 1, float("nan"))
+        with pytest.raises(wire.FieldRangeError):
+            wire.HeartbeatMessage.decode_payload(payload)
+
+    def test_parser_consumes_good_prefix_before_raising(self):
+        good = wire.encode_message(wire.HeartbeatMessage(4, 1.0))
+        bad = wire.frame_message(99, b"junk")
+        parser = wire.StreamParser()
+        with pytest.raises(wire.ProtocolError):
+            parser.feed(good + bad)
+        # The valid prefix was consumed before the raise; only the
+        # failing frame remains pending (so a reset drops exactly the
+        # poison bytes, never already-applied messages).
+        assert parser.pending_bytes == len(bad)
