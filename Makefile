@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze sanitize chaos fuzz fuzz-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze sanitize chaos fuzz fuzz-smoke cluster-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -33,8 +33,16 @@ chaos:
 	  echo "== chaos seed $$seed =="; \
 	  THINC_SANITIZE=1 THINC_CHAOS_SEED=$$seed PYTHONPATH=src \
 	  $(PY) -m pytest tests/net/test_faults.py \
-	    tests/core/test_resilience.py -x -q || exit 1; \
+	    tests/core/test_resilience.py \
+	    tests/cluster/test_migration.py -x -q || exit 1; \
 	done
+
+# End-to-end shard-fabric smoke: 2 shards x 8 sessions behind the
+# relay, one live migration mid-workload, queue sanitizer armed, and a
+# pixel-identity assertion per client.  See docs/CLUSTER.md.
+cluster-smoke:
+	THINC_SANITIZE=1 PYTHONPATH=src $(PY) -m repro.cluster.smoke \
+	  --shards 2 --sessions 8 --migrations 1
 
 # Deterministic protocol fuzzing: seed-driven mutated uplink traffic
 # against a live server rig with an honest co-resident session, with
@@ -54,11 +62,11 @@ fuzz-smoke:
 ci: lint analyze
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
-# Micro-performance harness: region ops, queue churn, and pipeline
-# throughput vs the pre-banded baselines.  Writes BENCH_PR3.json at the
-# repo root (see docs/PERF.md).
+# Micro-performance harness: region ops, queue churn, pipeline
+# throughput, and the PR-6 shard-fabric scaling/migration numbers.
+# Writes BENCH_PR6.json at the repo root (see docs/PERF.md).
 bench:
-	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR3.json
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR6.json
 
 # CI smoke mode: small workloads, then schema-validate the report.
 bench-smoke:
@@ -89,6 +97,7 @@ examples:
 	$(PY) examples/desktop_session.py
 	$(PY) examples/collaboration.py
 	$(PY) examples/pda_navigation.py
+	$(PY) examples/shard_fanout.py
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -21,6 +21,8 @@ The resulting DAG, low to high::
     protocol | display                      (wire commands | raster + drivers)
     core                                    (translation, queues, delivery)
     baselines | workloads                   (comparison systems | app models)
+    cluster                                 (shard fabric over core servers)
+    fuzz                                    (protocol fuzzing harness)
     bench                                   (measurement harness)
     <top-level modules: cli, __main__>      (entry points)
     analysis                                (this tooling; imports anything,
@@ -55,6 +57,7 @@ LAYER_RANKS: Dict[str, int] = {
     "core": 30,
     "baselines": 40,
     "workloads": 40,
+    "cluster": 42,
     "fuzz": 45,
     "bench": 50,
     "analysis": 100,

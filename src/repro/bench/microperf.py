@@ -14,7 +14,12 @@ that seeds the benchmark trajectory future PRs are gated on:
   queue-to-queue copy;
 * **pipeline throughput** — wall-clock end-to-end runs of the Fig-2
   web and Fig-5 A/V workloads on the THINC platform, recorded as
-  trajectory numbers (no baseline pair — these move PR over PR).
+  trajectory numbers (no baseline pair — these move PR over PR);
+* **fabric scaling** — the PR-6 shard fabric: aggregate prepared-
+  command throughput for the same session population on one shard vs
+  two (simulated seconds — each shard owns a serial prepare CPU, so
+  the scaling number is a property of the architecture, not the host),
+  plus the client-observed pause of one live migration.
 
 Run ``python -m repro.bench.microperf --quick`` for the CI smoke mode,
 and ``--validate PATH`` to schema-check an emitted report.  See
@@ -31,6 +36,8 @@ import random
 import sys
 import time
 from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from ..core.command_queue import CommandQueue
 from ..net import LAN_DESKTOP
@@ -322,6 +329,122 @@ def _bench_pipeline(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+# -- fabric workloads ------------------------------------------------------
+
+_FABRIC_SESSIONS = (8, 4)
+_FABRIC_DRAWS = (48, 12)
+_FABRIC_W, _FABRIC_H = 256, 192
+
+
+def _fabric_drain(num_shards: int, sessions: int, draws: int):
+    """Simulated seconds for *num_shards* shards to drain a mirrored
+    draw burst to *sessions* clients, plus commands delivered.
+
+    Every session gets a distinct viewport (distinct scale keys defeat
+    both cache levels), so the burst is prepare-CPU-bound — exactly the
+    resource sharding multiplies.
+    """
+    from ..cluster import ShardCoordinator
+    from ..core import THINCClient
+    from ..display import WindowServer
+    from ..net import Connection, EventLoop
+
+    loop = EventLoop()
+    coord = ShardCoordinator(loop, num_shards, _FABRIC_W, _FABRIC_H)
+    screens = [WindowServer(_FABRIC_W, _FABRIC_H, driver=s.driver,
+                            clock=loop.clock) for s in coord.shards]
+    units = []
+    for i in range(sessions):
+        server = coord.shards[i % num_shards]
+        conn = Connection(loop, LAN_DESKTOP)
+        # Plain (guard-free) attach: the burst drains to idle, which is
+        # what makes the simulated clock a clean drain-time meter.
+        server.attach_client(conn, viewport=(_FABRIC_W - 8 * i,
+                                             _FABRIC_H - 6 * i))
+        THINCClient(loop, conn, headless=True)
+        units.append(server.sessions[-1])
+    loop.run_until_idle(max_time=30)
+    base = loop.now
+    sent_before = sum(u.stats["messages_sent"] for u in units)
+    rng = np.random.default_rng(_SEED)
+    for _ in range(draws):
+        # RAW image blocks: the one command class whose prepare stage
+        # pays real (simulated) compression CPU, the resource the
+        # fabric multiplies.
+        x = int(rng.integers(0, _FABRIC_W - 48))
+        y = int(rng.integers(0, _FABRIC_H - 36))
+        img = rng.integers(0, 256, (36, 48, 4), dtype=np.uint8)
+        for ws in screens:  # mirrored on every shard
+            ws.put_image(ws.screen, Rect(x, y, 48, 36), img)
+    loop.run_until_idle(max_time=300)
+    delivered = sum(u.stats["messages_sent"] for u in units) - sent_before
+    return loop.now - base, delivered
+
+
+def _fabric_migration_pause(quick: bool):
+    """Client-observed outage of one live migration, in simulated
+    seconds (sever -> successor guard reattached), plus transfer size."""
+    from ..cluster import ShardCoordinator
+    from ..cluster.smoke import SMOKE_CONFIG, scripted_workload
+    from ..core.resilience import ResilientClient
+    from ..display import WindowServer
+    from ..net import Connection, EventLoop
+    from ..net.link import LinkParams
+
+    loop = EventLoop()
+    coord = ShardCoordinator(loop, 2, 96, 64, resilience=SMOKE_CONFIG)
+    link = LinkParams("bench access", bandwidth_bps=100e6, rtt=0.0002)
+    for server in coord.shards:
+        ws = WindowServer(96, 64, driver=server.driver, clock=loop.clock)
+        scripted_workload(loop, ws, end=0.8 if quick else 1.5)
+
+    def dial():
+        conn = Connection(loop, link)
+        coord.relay.accept(conn)
+        return conn
+
+    rc = ResilientClient(loop, dial, config=SMOKE_CONFIG, seed=1)
+    rc.start()
+    loop.run_until(1.0)
+    token = rc.token
+    target = (coord.route_token(token) + 1) % 2
+    severed_at = loop.now
+    coord.migrate(token, target)
+    guard = coord.shards[target].resilience.guards[token]
+    while guard.detached_at is not None and loop.now < severed_at + 10:
+        loop.run_until(loop.now + 0.01)
+    pause = loop.now - severed_at
+    return pause, coord.transfer_bytes
+
+
+def _bench_fabric(quick: bool) -> Dict[str, Dict[str, float]]:
+    sessions = _FABRIC_SESSIONS[quick]
+    draws = _FABRIC_DRAWS[quick]
+    start = time.perf_counter()
+    one_s, one_sent = _fabric_drain(1, sessions, draws)
+    two_s, two_sent = _fabric_drain(2, sessions, draws)
+    thr_one = one_sent / one_s
+    thr_two = two_sent / two_s
+    pause, transfer_bytes = _fabric_migration_pause(quick)
+    wall = time.perf_counter() - start
+    return {
+        "scaling": {
+            "sessions": float(sessions),
+            "draws": float(draws),
+            "one_shard_s": one_s,
+            "two_shard_s": two_s,
+            "one_shard_msgs_per_s": thr_one,
+            "two_shard_msgs_per_s": thr_two,
+            "speedup": thr_two / thr_one,
+        },
+        "migration": {
+            "pause_s": pause,
+            "transfer_bytes": float(transfer_bytes),
+            "wall_s": wall,
+        },
+    }
+
+
 # -- report ----------------------------------------------------------------
 
 def run_suite(quick: bool = False) -> Dict:
@@ -330,7 +453,7 @@ def run_suite(quick: bool = False) -> Dict:
     report = {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
-        "pr": "PR3",
+        "pr": "PR6",
         "quick": quick,
         "python": sys.version.split()[0],
         "params": {
@@ -346,6 +469,7 @@ def run_suite(quick: bool = False) -> Dict:
             "region": _bench_region(quick, repeats),
             "queue": _bench_queue(quick, repeats),
             "pipeline": _bench_pipeline(quick),
+            "fabric": _bench_fabric(quick),
         },
     }
     return report
@@ -359,6 +483,11 @@ _PAIRED = {
 _PIPELINE_KEYS = {
     "fig2_web": ("wall_s", "pages", "mean_latency_s"),
     "fig5_av": ("wall_s", "frames", "av_quality"),
+}
+_FABRIC_KEYS = {
+    "scaling": ("sessions", "draws", "one_shard_s", "two_shard_s",
+                "one_shard_msgs_per_s", "two_shard_msgs_per_s", "speedup"),
+    "migration": ("pause_s", "transfer_bytes", "wall_s"),
 }
 
 
@@ -409,6 +538,18 @@ def validate_report(report) -> List[str]:
             for field in fields:
                 _need(entry, field, (int, float),
                       f"results.pipeline.{name}")
+    fabric = _need(results, "fabric", dict, "results")
+    if fabric is not None:
+        for name, fields in _FABRIC_KEYS.items():
+            entry = _need(fabric, name, dict, "results.fabric")
+            if entry is None:
+                continue
+            for field in fields:
+                value = _need(entry, field, (int, float),
+                              f"results.fabric.{name}")
+                if value is not None and value <= 0:
+                    problems.append(
+                        f"results.fabric.{name}.{field}: must be positive")
     return problems
 
 
@@ -425,6 +566,15 @@ def _summarize(report: Dict) -> str:
                            if k != "wall_s")
         lines.append(f"pipeline.{name:<18} wall {entry['wall_s']:.2f}s"
                      f"  ({detail})")
+    fabric = results["fabric"]
+    scaling, migration = fabric["scaling"], fabric["migration"]
+    lines.append(
+        f"fabric.scaling        1 shard {scaling['one_shard_s']:.3f}s sim"
+        f"  2 shards {scaling['two_shard_s']:.3f}s sim"
+        f"  aggregate speedup {scaling['speedup']:.2f}x")
+    lines.append(
+        f"fabric.migration      pause {migration['pause_s'] * 1000:.0f}ms"
+        f" sim  transfer {migration['transfer_bytes']:.0f}B")
     return "\n".join(lines)
 
 
@@ -434,7 +584,7 @@ def main(argv=None) -> int:
         description="THINC micro-performance harness (see docs/PERF.md)")
     parser.add_argument("--quick", action="store_true",
                         help="small workloads for the CI smoke job")
-    parser.add_argument("--out", default="BENCH_PR3.json",
+    parser.add_argument("--out", default="BENCH_PR6.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--validate", metavar="PATH",
                         help="schema-check an existing report and exit")

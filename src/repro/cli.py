@@ -90,7 +90,84 @@ def _build_demo(network: str, width: int, height: int, trace_path=None):
     return loop, ws, client, monitor, recorder, end
 
 
+def _cmd_demo_sharded(args) -> int:
+    """The demo fanned out over a shard fabric behind a relay.
+
+    The same scripted editor session plays on every shard's (mirrored)
+    screen; two clients per shard dial the relay exactly as they would
+    a single server, and one session is live-migrated mid-script.
+    """
+    from .cluster import ShardCoordinator
+    from .cluster.smoke import SMOKE_CONFIG
+    from .core.resilience import ResilientClient
+    from .display import WindowServer
+    from .display.wm import WindowManager
+    from .net import Connection, EventLoop, NETWORK_CONFIGS
+    from .region import Rect
+
+    width, height = args.width, args.height
+    loop = EventLoop()
+    coord = ShardCoordinator(loop, args.shards, width, height,
+                             resilience=SMOKE_CONFIG)
+    screens = []
+    for server in coord.shards:
+        ws = WindowServer(width, height, driver=server.driver,
+                          clock=loop.clock)
+        wm = WindowManager(ws)
+        editor = wm.create_window("editor", Rect(
+            width // 8, height // 8, width // 2, height // 2))
+        for n in range(8):
+            loop.schedule(
+                0.15 * n, lambda wm=wm, editor=editor, n=n:
+                wm.draw_in_window(editor, lambda s, d: s.draw_text(
+                    d, 6, 6 + n * 10,
+                    f"line {n}: the quick brown fox", (10, 10, 10, 255))))
+        loop.schedule(1.3, lambda wm=wm, editor=editor:
+                      wm.move_window(editor, width // 6, height // 6))
+        screens.append(ws)
+
+    link = NETWORK_CONFIGS[args.network]
+
+    def dial() -> "Connection":
+        conn = Connection(loop, link)
+        coord.relay.accept(conn)
+        return conn
+
+    clients = []
+    for i in range(2 * args.shards):
+        rc = ResilientClient(loop, dial, config=SMOKE_CONFIG, seed=i)
+        rc.start()
+        clients.append(rc)
+    loop.run_until(2.0)
+    token = clients[0].token
+    moved = False
+    if token and args.shards > 1:
+        source = coord.route_token(token)
+        coord.migrate(token, (source + 1) % args.shards)
+        moved = True
+    loop.run_until(14.0)
+
+    exact = all(
+        rc.client.fb is not None and rc.client.fb.same_as(
+            screens[coord.route_token(rc.token)].screen.fb)
+        for rc in clients)
+    stats = coord.stats()
+    print(f"network            : {args.network}")
+    print(f"shards             : {args.shards}")
+    print(f"sessions           : {stats['sessions']} "
+          f"({[len(s.sessions) for s in coord.shards]} per shard)")
+    print(f"live migrations    : {len(coord.migrations)}"
+          + (f" (token {token})" if moved else ""))
+    print(f"pixel-exact clients: {exact}")
+    print(f"relay bytes up/down: {stats['relay']['bytes_up']:,} / "
+          f"{stats['relay']['bytes_down']:,}")
+    print(f"shared-cache hits  : {stats['shared_cache']['hits']}")
+    return 0 if exact else 1
+
+
 def _cmd_demo(args) -> int:
+    if args.shards > 1:
+        return _cmd_demo_sharded(args)
     loop, ws, client, monitor, recorder, end = _build_demo(
         args.network, args.width, args.height)
     exact = client.fb.same_as(ws.screen.fb)
@@ -167,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--height", type=int, default=480)
     demo.add_argument("--network", choices=("lan", "wan", "pda"),
                       default="lan")
+    demo.add_argument("--shards", type=int, default=1,
+                      help="run the session on a shard fabric behind a "
+                           "relay (N>1), with one live migration")
     demo.set_defaults(func=_cmd_demo)
 
     trace = sub.add_parser("trace", help="record or inspect a trace")

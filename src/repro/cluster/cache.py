@@ -1,0 +1,84 @@
+"""Cross-shard sharing of prepared (scaled + compressed) commands.
+
+Each shard's :class:`~repro.core.pipeline.PreparePlane` caches by
+``(prep id, scale key)``, where the prep id is a counter local to that
+plane — meaningless to a peer.  This module adds the fabric-wide level:
+a :class:`SharedPrepareCache` keyed by command *content* (CRC-32 of the
+command's wire encoding) plus the same scale key, injected into every
+shard's ``plane.shared_cache`` hook.  When two clients with the same
+viewport watch the same content from different shards, the second
+shard adopts the first one's compressed output instead of burning its
+own (simulated) CPU on identical PNG-model work — the PR 1 cache
+economics, lifted one level up.
+
+Validity rests on two facts: the wire encoding fully determines a
+command's pixels and geometry (it is, literally, what the client will
+see), and the scale key fully determines the prepare transform, so
+equal (content, scale) pairs produce byte-identical prepared entries.
+Entries carry their original ``ready_at`` stamps; all shards share one
+simulation clock, so those stamps stay meaningful across planes, and
+consumers re-clamp against their own sessions' pipe tails anyway.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SharedPrepareCache"]
+
+
+def _content_id(command) -> int:
+    """CRC-32 of the command's wire encoding, stamped once.
+
+    Stable across shards and runs (unlike plane-local prep ids), and
+    cached on the command so fan-outs hash once.  The encode cost is
+    amortised: commands memoise their encoded payloads, and a cache hit
+    saves the far larger prepare cost.
+    """
+    cid = getattr(command, "_content_crc", None)
+    if cid is None:
+        cid = command._content_crc = zlib.crc32(command.encode())
+    return cid
+
+
+class SharedPrepareCache:
+    """LRU cache of prepared-command entries, shared by shard planes.
+
+    Duck-typed to the ``PreparePlane.shared_cache`` hook:
+    ``get(command, scale_key)`` returns a prepared entry or None;
+    ``put(command, scale_key, entry)`` publishes one.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, command, scale_key) -> Optional[object]:
+        key = (_content_id(command), scale_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, command, scale_key, entry) -> None:
+        self._entries[(_content_id(command), scale_key)] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries)}

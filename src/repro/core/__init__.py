@@ -12,6 +12,7 @@ from .pipeline import PreparePlane, StageStats, STAGE_NAMES
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import FIFOScheduler, SRSFScheduler
 from .server import ServerCostModel, THINCServer, THINCSession
+from .session_unit import FrozenSession, SessionUnit
 from .translation import THINCDriver
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "THINCDriver",
     "THINCServer",
     "THINCSession",
+    "SessionUnit",
+    "FrozenSession",
     "THINCClient",
     "ClientCostModel",
     "DisplayScaler",

@@ -184,7 +184,6 @@ class Governor:
         self.budget = budget or Budget()
         self.server_budget = server_budget or ServerBudget()
         self.stats = GovernorStats()
-        self._meters: Dict[object, SessionMeter] = {}
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -232,15 +231,22 @@ class Governor:
             self.stats.denials_written += 1
 
     def register(self, session) -> SessionMeter:
+        """Hang a fresh meter on *session*.
+
+        The meter lives on the session unit itself (part of its state
+        surface) rather than in a governor-side map, so a unit carries
+        its whole live half with it and the governor holds no
+        per-session storage of its own.
+        """
         meter = SessionMeter(self.budget, self.loop.now)
-        self._meters[session] = meter
+        session.meter = meter
         return meter
 
     def forget(self, session) -> None:
-        self._meters.pop(session, None)
+        session.meter = None
 
     def meter(self, session) -> SessionMeter:
-        m = self._meters.get(session)
+        m = getattr(session, "meter", None)
         if m is None:
             m = self.register(session)
         return m

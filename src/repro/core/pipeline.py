@@ -132,6 +132,13 @@ class PreparePlane:
         # One serial CPU pipeline for the whole server: preparation cost
         # is charged here exactly once per distinct prepared entry.
         self._cpu_free_at = 0.0
+        # Optional second-level cache shared *across* prepare planes
+        # (duck-typed: get(command, scale_key) / put(command, scale_key,
+        # entry)).  The cluster layer injects one so shards stop paying
+        # for work a peer already compressed; the core never depends on
+        # it.  Entries are keyed by command *content*, not prep id —
+        # prep ids are plane-local.
+        self.shared_cache = None
         self.scale_stats = StageStats()
         self.stats = StageStats()  # the Prepare/Compress stage
 
@@ -148,12 +155,23 @@ class PreparePlane:
             key = (pid,) + session.scaler.key
             entry = self._cache.get(key)
             if entry is None:
-                entry, cost = self._prepare(command, session.scaler)
-                self._store(key, entry)
-                self.stats.cache_misses += 1
-                # Attribute the miss to the session that triggered it;
-                # per-session cpu_time sums to the server total.
-                session.stats["cpu_time"] += cost
+                shared = self.shared_cache
+                entry = shared.get(command, session.scaler.key) \
+                    if shared is not None else None
+                if entry is not None:
+                    # A peer plane already paid the CPU for this exact
+                    # (content, viewport) pair; adopt its entry locally.
+                    self._store(key, entry)
+                    self.stats.cache_hits += 1
+                else:
+                    entry, cost = self._prepare(command, session.scaler)
+                    self._store(key, entry)
+                    self.stats.cache_misses += 1
+                    # Attribute the miss to the session that triggered
+                    # it; per-session cpu_time sums to the server total.
+                    session.stats["cpu_time"] += cost
+                    if shared is not None:
+                        shared.put(command, session.scaler.key, entry)
             else:
                 self._cache.move_to_end(key)
                 self.stats.cache_hits += 1

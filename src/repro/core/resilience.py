@@ -88,6 +88,13 @@ class ResilienceConfig:
     degrade_low_bytes: int = 64_000
     degrade_after_checks: int = 3
     seed: int = 0
+    # Token namespacing for sharded deployments: shard *i* of *N* runs
+    # with ``token_start=i+1, token_stride=N`` so freshly issued tokens
+    # never collide across shards, while adopted (migrated) tokens keep
+    # their original value — the token is the session's cluster-wide
+    # identity.
+    token_start: int = 1
+    token_stride: int = 1
 
 
 class ResilienceStats:
@@ -209,7 +216,7 @@ class ResiliencePlane:
         self.stats = ResilienceStats()
         self.guards: Dict[int, SessionGuard] = {}
         self._by_session: Dict[object, SessionGuard] = {}
-        self._next_token = 1
+        self._next_token = self.config.token_start
         self._tick_scheduled = False
         self._rng = random.Random(
             zlib.crc32(f"plane|{self.config.seed}".encode("utf-8")))
@@ -261,7 +268,7 @@ class ResiliencePlane:
                 return
             governor.stats.admitted += 1
             token = self._next_token
-            self._next_token += 1
+            self._next_token += self.config.token_stride
             self._write_plain(connection, wire.ReconnectAcceptMessage(
                 token, wire.RESYNC_FRESH))
             session = self.server._make_session(connection, viewport,
@@ -272,6 +279,7 @@ class ResiliencePlane:
                 governor.budget.max_journal_bytes)
             guard = SessionGuard(token, session, now, limit)
             session.journal = self._journal_for(guard)
+            session.guard = guard
             self.guards[token] = guard
             self._by_session[session] = guard
             self.stats.attaches += 1
@@ -445,11 +453,49 @@ class ResiliencePlane:
         self.stats.queues_dropped += 1
 
     def drop_guard(self, session) -> None:
-        """Forget a session entirely (governor eviction): its token
-        will no longer resync — a redial becomes a fresh attach."""
+        """Forget a session entirely (governor eviction, or the source
+        side of a migration): its token will no longer resync *here* —
+        a redial becomes a fresh attach."""
         guard = self._by_session.pop(session, None)
+        session.guard = None
         if guard is not None:
             self.guards.pop(guard.token, None)
+
+    # -- migration (driven by repro.cluster) ---------------------------------
+
+    def adopt(self, session, frozen) -> SessionGuard:
+        """Take guardianship of a thawed session under its original
+        token.
+
+        The mirror of the fresh-attach bookkeeping in ``_on_request``,
+        fed from a :class:`~repro.core.session_unit.FrozenSession`
+        instead of a dialled connection: the journal, cumulative-ack
+        mark and drop flags transfer verbatim, so the client's eventual
+        redial takes exactly the replay-vs-snapshot resync decision it
+        would have taken on the source shard.  The detach window starts
+        *now* — migration spends part of the same bounded absence the
+        network-fault path does.
+        """
+        now = self.loop.now
+        limit = min(
+            self.config.replay_log_limit or
+            2 * self._snapshot_cost(session),
+            self.server.governor.budget.max_journal_bytes)
+        guard = SessionGuard(frozen.token, session, now, limit)
+        guard.acked_seq = frozen.acked_seq
+        guard.log_dropped = frozen.log_dropped
+        guard.queue_dropped = frozen.queue_dropped
+        for seq, data in frozen.journal:
+            guard.log.append((seq, data))
+            guard.log_bytes += len(data)
+        guard.detached_at = now
+        session.journal = self._journal_for(guard)
+        session.guard = guard
+        self.guards[frozen.token] = guard
+        self._by_session[session] = guard
+        self.stats.attaches += 1
+        self._ensure_tick()
+        return guard
 
     def _check_pressure(self, guard: SessionGuard, session) -> None:
         backlog = session.buffer.pending_bytes()

@@ -1,4 +1,4 @@
-"""The THINC server: sessions, framing, encryption, push delivery.
+"""The THINC server: a thin shard host over session units.
 
 The server owns one :class:`~repro.core.translation.THINCDriver` (which
 plugs into the window server as its video driver) and any number of
@@ -10,90 +10,43 @@ is only the scheduler-backed buffer, the optional RC4 stream cipher
 (Section 7) and the flush machinery.  Updates are *pushed*: whenever
 work is buffered the session schedules flush periods on the event loop
 and commits as much as the non-blocking transport will take.
+
+All per-client state lives in :class:`~repro.core.session_unit.
+SessionUnit` (``THINCSession`` remains as its historical alias); the
+server itself holds only the *shared planes* — driver, translate stage,
+prepare plane, governor, optional resilience plane — plus the session
+list.  That split is what makes a server a **shard**: units can leave
+one host frozen (:meth:`SessionUnit.freeze`) and arrive at another via
+:meth:`THINCServer.thaw_session`, with :mod:`repro.cluster` providing
+the fabric that moves them.
 """
 
 from __future__ import annotations
 
-import struct
-import zlib
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..display.driver import InputEvent, VideoStreamInfo
 from ..net.clock import EventLoop
 from ..net.transport import Connection
 from ..protocol import wire
 from ..protocol.commands import (Command, CompositeCommand, RawCommand,
-                                 VideoFrameCommand)
+                                 VideoFrameCommand, decode_command)
 from ..protocol.limits import LIMITS
-from ..protocol.rc4 import RC4
-from ..protocol.spec import UPLINK_TYPE_IDS
 from ..region import Rect
 from . import pipeline
-from . import sanitizer as _sanitizer
-from .delivery import ClientBuffer
 from .governor import Budget, Governor, ServerBudget
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
+from .session_unit import FLUSH_INTERVAL, FrozenSession, SessionUnit
 from .translation import THINCDriver
 
-__all__ = ["THINCServer", "THINCSession", "ServerCostModel"]
+__all__ = ["THINCServer", "THINCSession", "SessionUnit", "FrozenSession",
+           "ServerCostModel", "FLUSH_INTERVAL"]
 
-FLUSH_INTERVAL = 0.002  # seconds between flush periods while backlogged
-
-
-class _SessionWriter:
-    """The session's write-side proxy over the transport endpoint.
-
-    Three concerns live here rather than in the framing stage so they
-    happen only for bytes that actually reach the socket:
-
-    * **encryption** — frames are plaintext until written (framing a
-      split head that then fails the fit check must not consume RC4
-      keystream, and journaled frames must be re-encryptable under a
-      fresh key after a reconnect);
-    * **sequencing** — resilient sessions wrap every outgoing frame in
-      a CHECKED wrapper whose sequence number is assigned in *send*
-      order, so the client's cumulative ack and the replay log agree
-      byte-for-byte about what the client may have seen; and
-    * **journaling** — each wrapped plaintext frame is handed to the
-      resilience plane's per-session log before encryption.
-
-    ``writable_bytes`` subtracts the wrapper overhead so the flush
-    stage's size arithmetic keeps working unchanged.
-    """
-
-    def __init__(self, session: "THINCSession", sequenced: bool):
-        self.session = session
-        self.sequenced = sequenced
-        self.overhead = wire.CHECKED_OVERHEAD if sequenced else 0
-        self.last_seq = 0
-        self.total_bytes = 0
-
-    def _endpoint(self):
-        return self.session.connection.down
-
-    def writable_bytes(self) -> int:
-        return max(0, self._endpoint().writable_bytes() - self.overhead)
-
-    def write(self, data: bytes) -> None:
-        if self.sequenced:
-            self.last_seq += 1
-            data = wire.wrap_checked(data, self.last_seq)
-            if self.session.journal is not None:
-                self.session.journal(self.last_seq, data)
-        self.total_bytes += len(data)
-        self._endpoint().write(self.session.frame_stage.encrypt(data))
-
-    def write_prewrapped(self, data: bytes) -> None:
-        """Write an already-wrapped frame (resync replay): encrypt
-        only — it carries its original sequence number and is already
-        in the journal."""
-        self.total_bytes += len(data)
-        self._endpoint().write(self.session.frame_stage.encrypt(data))
-
-    def prewrapped_writable(self) -> int:
-        return self._endpoint().writable_bytes()
+#: Historical name: the per-client state grew an explicit serializable
+#: surface and moved to its own module; every existing call site keeps
+#: working through this alias.
+THINCSession = SessionUnit
 
 
 class ServerCostModel:
@@ -120,291 +73,6 @@ class ServerCostModel:
         elif isinstance(command, VideoFrameCommand):
             cpu += len(command.yuv_bytes) / self.copy_bytes_per_second
         return cpu
-
-
-class THINCSession:
-    """Per-client server state: buffer/schedule, frame/encrypt, flush.
-
-    Scaling and compression live on the server's shared prepare plane;
-    the session only receives already-prepared commands through
-    :meth:`enqueue_prepared`.
-    """
-
-    def __init__(self, server: "THINCServer", connection: Connection,
-                 viewport=None, encrypt_key: Optional[bytes] = None,
-                 sequenced: bool = False):
-        self.server = server
-        self.connection = connection
-        self.loop = server.loop
-        self.viewport = viewport or (server.width, server.height)
-        self.scaler = DisplayScaler((server.width, server.height),
-                                    self.viewport)
-        self._encrypt_key = encrypt_key
-        self.frame_stage = pipeline.FrameStage(
-            RC4(encrypt_key) if encrypt_key else None)
-        self.buffer = ClientBuffer(
-            scheduler=server.scheduler_factory(),
-            merge=server.merge,
-            frame=self.frame_stage.frame,
-        )
-        # Resilience state: a detached session buffers but does not
-        # flush; the plane sets ``journal`` to log sent frames, fills
-        # ``_replay`` on resync, and toggles degraded/shed flags.
-        self.sequenced = sequenced
-        self._writer = _SessionWriter(self, sequenced)
-        self.journal: Optional[Callable[[int, bytes], None]] = None
-        self.detached = False
-        self.degraded = False
-        self.shed_display = False
-        self.quarantined = False
-        self._replay: Deque[bytes] = deque()
-        self._control: Deque[bytes] = deque()
-        self._audio: Deque[bytes] = deque()
-        # Byte gauges over the control/audio queues, maintained at the
-        # append/pop sites so the governor's backlog checks stay O(1).
-        self._control_bytes = 0
-        self._audio_bytes = 0
-        self._flush_scheduled = False
-        # Monotonic per-session enqueue horizon: a cache hit on the
-        # prepare plane can be ready *before* this session's previously
-        # submitted work, and the buffer stage must still see commands
-        # in submission order (see repro.core.pipeline module docs).
-        self._pipe_tail = 0.0
-        self.stats = {"messages_sent": 0, "bytes_sent": 0,
-                      "flush_periods": 0, "cpu_time": 0.0,
-                      "audio_dropped": 0, "display_shed": 0,
-                      "uplink_dropped": 0, "wire_errors": 0}
-        connection.up.connect(self._on_client_data)
-        self.reset_parser()
-        self.queue_control(wire.ScreenInitMessage(*self.viewport))
-
-    @property
-    def cipher(self):
-        return self.frame_stage.cipher
-
-    # -- framing ------------------------------------------------------------
-
-    def _frame(self, msg) -> bytes:
-        return self.frame_stage.frame(msg)
-
-    # -- enqueue paths ---------------------------------------------------------
-
-    def submit(self, command: Command) -> None:
-        """Route a display command through the shared prepare plane.
-
-        Preparation (scaling + compression) costs real server CPU; a
-        command only becomes sendable once prepared.  The plane's cache
-        means a command another same-viewport session already paid for
-        arrives here for free.
-        """
-        self.server.plane.submit(command, (self,))
-
-    def enqueue_prepared(self, command: Command,
-                         ready_at: float = 0.0) -> None:
-        """Buffer a prepared command once its CPU completion time passes.
-
-        Clamped to the session's pipe tail so adds stay in submission
-        order even when a cache hit is ready before earlier work.
-        """
-        ready = max(ready_at, self._pipe_tail)
-        self._pipe_tail = ready
-        _sanitizer.check_pipe_tail(self, ready)
-        if ready <= self.loop.now:
-            self._add_to_buffer(command)
-        else:
-            self.loop.schedule(ready - self.loop.now,
-                               lambda c=command: self._add_to_buffer(c))
-
-    def _add_to_buffer(self, command: Command) -> None:
-        if self.shed_display or self.quarantined:
-            # The detach window expired and the queue was dropped (or
-            # the governor evicted the session): the reconnect resync
-            # will be a snapshot of *current* content, so buffering
-            # more display work is pure waste.
-            self.stats["display_shed"] += 1
-            return
-        self.buffer.add(command, now=self.loop.now)
-        self.server.governor.after_display_add(self)
-        self._kick()
-
-    def queue_control(self, message) -> None:
-        if self.quarantined:
-            return
-        data = self._frame(message)
-        self._control.append(data)
-        self._control_bytes += len(data)
-        self.server.governor.after_control_add(self)
-        self._kick()
-
-    def queue_audio(self, timestamp: float, samples: bytes) -> None:
-        if self.detached or self.degraded or self.quarantined:
-            # Audio is useless late: a detached client cannot hear it
-            # and a congested pipe should spend its bytes on display
-            # updates (graceful degradation sheds audio first).
-            self.stats["audio_dropped"] += 1
-            return
-        data = self._frame(wire.AudioChunkMessage(timestamp, samples))
-        self._audio.append(data)
-        self._audio_bytes += len(data)
-        self.server.governor.after_audio_add(self)
-        self._kick()
-
-    # -- governance gauges and hooks -----------------------------------------
-
-    @property
-    def audio_backlog_bytes(self) -> int:
-        return self._audio_bytes
-
-    @property
-    def control_backlog_bytes(self) -> int:
-        return self._control_bytes
-
-    def drop_oldest_audio(self) -> None:
-        data = self._audio.popleft()
-        self._audio_bytes -= len(data)
-        self.stats["audio_dropped"] += 1
-
-    def clear_audio(self) -> None:
-        self._audio.clear()
-        self._audio_bytes = 0
-
-    def reset_parser(self) -> None:
-        """(Re)create the uplink parser with the typed wire limits:
-        small frames only, a bounded reassembly buffer, and only
-        client-to-server message types accepted."""
-        self._parser = wire.StreamParser(
-            max_frame=LIMITS.max_uplink_frame_bytes,
-            max_pending=LIMITS.max_uplink_pending_bytes,
-            allowed=UPLINK_TYPE_IDS)
-
-    def note_input(self, event: InputEvent) -> None:
-        # Input arrives in session coordinates; the real-time region is
-        # matched against commands already mapped into this client's
-        # (possibly zoomed, scaled) viewport space.
-        x, y = self.scaler.map_point(event.x, event.y)
-        self.buffer.note_input(x, y, event.time)
-
-    # -- flush machinery ----------------------------------------------------------
-
-    def _kick(self) -> None:
-        if self.detached:
-            return  # rebind() re-kicks when a connection is back
-        if not self._flush_scheduled:
-            self._flush_scheduled = True
-            self.loop.schedule(0.0, self._flush)
-
-    def pending(self) -> bool:
-        return bool(self._replay or self._control or self._audio
-                    or self.buffer.pending_commands())
-
-    def _flush(self) -> None:
-        self._flush_scheduled = False
-        if self.detached:
-            return  # no socket to write to; rebind() resumes flushing
-        self.stats["flush_periods"] += 1
-        writer = self._writer
-        sent_before = writer.total_bytes
-        # Resync replay drains first (the client must catch up to the
-        # stream point before new frames make sense), then control
-        # messages (tiny, order-sensitive), then audio
-        # (latency-sensitive), then display commands in SRSF order.
-        while self._replay and \
-                len(self._replay[0]) <= writer.prewrapped_writable():
-            writer.write_prewrapped(self._replay.popleft())
-            self.stats["messages_sent"] += 1
-        for fifo in (self._control, self._audio):
-            if self._replay:
-                break
-            while fifo and len(fifo[0]) <= writer.writable_bytes():
-                data = fifo.popleft()
-                if fifo is self._control:
-                    self._control_bytes -= len(data)
-                else:
-                    self._audio_bytes -= len(data)
-                writer.write(data)
-                self.stats["messages_sent"] += 1
-        if not self._replay and not self._control:
-            result = self.buffer.flush(writer)
-            self.stats["messages_sent"] += result.commands_sent
-        self.stats["bytes_sent"] += writer.total_bytes - sent_before
-        if self.pending():
-            self._flush_scheduled = True
-            self.loop.schedule(FLUSH_INTERVAL, self._flush)
-
-    # -- resilience hooks (driven by repro.core.resilience) -------------------
-
-    def detach(self) -> None:
-        """The plane lost the client: stop flushing, keep absorbing.
-
-        The command queue keeps taking display updates (eviction keeps
-        it minimal — exactly the Section 4 replay invariant the resync
-        relies on); audio is shed; control messages are preserved.
-        """
-        self.detached = True
-
-    def rebind(self, connection: Connection) -> None:
-        """Bind this session to a freshly dialled connection.
-
-        The old endpoint's receiver is neutralised so late in-flight
-        segments cannot reach the new parser, the parser restarts
-        clean, and both sides restart their RC4 keystreams (the replay
-        log holds plaintext frames, re-encrypted on the way out).
-        """
-        if self.connection is not None:
-            self.connection.up.disconnect()
-        self.connection = connection
-        connection.up.connect(self._on_client_data)
-        self.reset_parser()
-        if self._encrypt_key is not None:
-            self.frame_stage.rekey(RC4(self._encrypt_key))
-        self.detached = False
-        self._kick()
-
-    # -- instrumentation -----------------------------------------------------
-
-    def pipeline_stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-stage counters for this session's half of the pipeline."""
-        bstats = self.buffer.stats
-        return {
-            "buffer": {
-                "commands_in": bstats["commands_in"],
-                "commands_out": bstats["commands_out"],
-                "bytes_out": bstats["bytes_out"],
-                "commands_split": bstats["commands_split"],
-                "queue_depth": self.buffer.pending_commands(),
-            },
-            "frame": self.frame_stage.stats.as_dict(),
-            "flush": {
-                "flush_periods": self.stats["flush_periods"],
-                "commands_out": self.stats["messages_sent"],
-                "bytes_out": self.stats["bytes_sent"],
-                "queue_depth": len(self._control) + len(self._audio),
-            },
-        }
-
-    # -- client-to-server traffic ---------------------------------------------
-
-    def _on_client_data(self, chunk: bytes) -> None:
-        # Client->server traffic is not encrypted in this model (input
-        # events only; the paper encrypts both ways but RC4 is
-        # size-preserving so accounting is identical).
-        if self.quarantined:
-            return
-        governor = self.server.governor
-        try:
-            for msg in self._parser.feed(chunk):
-                if not governor.allow_uplink(self):
-                    self.stats["uplink_dropped"] += 1
-                    continue
-                self.server.handle_client_message(self, msg)
-        except (ValueError, KeyError, struct.error, zlib.error) as exc:
-            # Any decode failure is a session-scoped event, never a
-            # server crash: the governor either resets the parser (a
-            # resilient session on a lossy link — heartbeats repeat and
-            # the liveness clock already advanced when the bytes
-            # arrived) or quarantines and detaches the session.
-            self.stats["wire_errors"] += 1
-            governor.on_wire_error(self, exc)
 
 
 class THINCServer:
@@ -480,6 +148,49 @@ class THINCServer:
     def detach_client(self, session: THINCSession) -> None:
         self.sessions.remove(session)
         self.governor.forget(session)
+
+    def thaw_session(self, frozen: FrozenSession) -> SessionUnit:
+        """Rebuild a live :class:`SessionUnit` from its frozen surface.
+
+        The inverse of :meth:`SessionUnit.freeze`, run on the migration
+        target.  The unit starts detached — its client is still dialling
+        — and deliberately receives *no* refresh: the restored queue and
+        journal already describe exactly what the client is missing, and
+        injecting a snapshot here would break the replay resync's
+        byte-for-byte fidelity.  Valid on any server sharing the source
+        shard's simulation clock and geometry (the frozen pipe tail and
+        journal sequence marks are clock-relative).
+
+        Governance restarts fresh (meter position is not part of the
+        frozen surface) and the resilience plane adopts the unit under
+        its original token, so the client's redial resyncs exactly as
+        it would after a network fault.
+        """
+        session = SessionUnit(self, None, viewport=frozen.viewport,
+                              encrypt_key=self.encrypt_key,
+                              sequenced=frozen.sequenced, greet=False)
+        session.scaler = DisplayScaler((self.width, self.height),
+                                       frozen.viewport,
+                                       view_rect=frozen.view_rect)
+        session._writer.last_seq = frozen.last_seq
+        session._pipe_tail = frozen.pipe_tail
+        session.degraded = frozen.degraded
+        session.shed_display = frozen.shed_display
+        for blob in frozen.commands:
+            # Straight into the buffer: governor hooks and the shed
+            # check are skipped because this content was already
+            # admitted (and governed) on the source shard.
+            session.buffer.add(decode_command(blob), now=self.loop.now)
+        session._replay.extend(frozen.replay)
+        for data in frozen.control:
+            session._control.append(data)
+            session._control_bytes += len(data)
+        session.stats.update(frozen.stats)
+        self.sessions.append(session)
+        self.governor.register(session)
+        if self.resilience is not None and frozen.token:
+            self.resilience.adopt(session, frozen)
+        return session
 
     def _submit_refresh(self, session: THINCSession,
                         rect: Optional[Rect] = None,

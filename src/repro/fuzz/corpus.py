@@ -38,6 +38,14 @@ def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
         wire.ZoomRequestMessage(Rect(0, 0, 0, 0)),
         wire.HeartbeatMessage(7, 1.5),
         wire.ReconnectRequestMessage(3, 41),
+        # Fabric control frames are shard-to-shard only: a client that
+        # sends one is lying about its role, so these seeds exercise
+        # the uplink direction-reject path (and give mutation real
+        # fabric framing to corrupt).
+        wire.MigrateBeginMessage(3, 1),
+        wire.MigrateCompleteMessage(3, 1),
+        wire.SessionTransferMessage(3, b"\x01" + b"\x00" * 12),
+        wire.ShardAdmissionReportMessage(0, 4, 4096, True),
     ]
     corpus = [wire.encode_message(m) for m in msgs]
     corpus.append(b"".join(corpus[:4]))

@@ -70,6 +70,17 @@ class WireLimits:
     #: lying server cannot park a client in permanent backoff.
     max_retry_after: float = 86400.0
 
+    #: Largest frozen-session state blob one SESSION_TRANSFER frame may
+    #: carry between shards.  A session's journal and queue are already
+    #: bounded by the governor's budgets, so an honest transfer sits far
+    #: below this; a corrupted length cannot balloon the decode.
+    max_transfer_bytes: int = 1 << 23
+
+    #: Largest shard index a fabric control message may name.  The
+    #: coordinator runs a handful of shards; a four-digit ceiling keeps
+    #: a corrupted field from addressing phantom hosts.
+    max_shard_id: int = 4096
+
 
 #: The limits every production parser runs under.
 LIMITS = WireLimits()

@@ -24,6 +24,7 @@ __all__ = [
     "LIMITS",
     "UPLINK_TYPE_IDS",
     "DOWNLINK_TYPE_IDS",
+    "FABRIC_TYPE_IDS",
     "render_protocol_reference",
 ]
 
@@ -34,7 +35,7 @@ class MessageSpec:
 
     name: str
     type_id: int
-    direction: str  # "s->c", "c->s"
+    direction: str  # "s->c", "c->s", "s->s" (shard fabric internal)
     section: str  # paper section introducing it
     summary: str
     payload: str  # field layout after the [type u8][len u32] frame
@@ -187,6 +188,37 @@ PROTOCOL_SPEC: List[MessageSpec] = [
         "retry_after seconds from now.",
         "reason[u8] retry_after[f64]",
         _wire.AttachDeniedMessage),
+    MessageSpec(
+        "SESSION_TRANSFER", 32, "s->s", "(extension: cluster)",
+        "A frozen session crossing the shard fabric during live "
+        "migration: the token rides in the clear for routing; the "
+        "state blob is the serialized SessionUnit surface (journal, "
+        "queue, scaler view, sequence marks), bounded by "
+        "max_transfer_bytes.  Never valid on a client-facing stream.",
+        "token[u32] state[rest, <= max_transfer_bytes]",
+        _wire.SessionTransferMessage),
+    MessageSpec(
+        "MIGRATE_BEGIN", 33, "s->s", "(extension: cluster)",
+        "Coordinator orders the owning shard to freeze and hand off a "
+        "session to target_shard; marks the start of the bounded "
+        "migration detach window.",
+        "token[u32] target_shard[u16]",
+        _wire.MigrateBeginMessage),
+    MessageSpec(
+        "MIGRATE_COMPLETE", 34, "s->s", "(extension: cluster)",
+        "Target shard acknowledges it thawed the session and owns the "
+        "token; the coordinator flips routing so the client's next "
+        "redial reaches the new owner.",
+        "token[u32] shard[u16]",
+        _wire.MigrateCompleteMessage),
+    MessageSpec(
+        "SHARD_ADMISSION", 35, "s->s", "(extension: cluster)",
+        "A shard reports its governor's admission posture (session "
+        "count, buffered display bytes, whether a fresh attach would "
+        "be admitted) upward to the coordinator for placement and "
+        "overflow routing.",
+        "shard[u16] sessions[u32] queue_bytes[u64] admitting[u8]",
+        _wire.ShardAdmissionReportMessage),
 ]
 
 #: Type ids a client may legitimately send to the server.  The
@@ -200,6 +232,14 @@ UPLINK_TYPE_IDS = frozenset(
 DOWNLINK_TYPE_IDS = frozenset(
     spec.type_id for spec in PROTOCOL_SPEC
     if spec.direction == "s->c") | {_wire.HeartbeatMessage.type_id}
+
+#: Type ids that only travel between fabric peers (coordinator and
+#: shards).  They are valid on *no* client-facing stream: the uplink
+#: and downlink allow-lists above exclude them by construction, so a
+#: client smuggling a SESSION_TRANSFER at a server dies at the frame
+#: header.
+FABRIC_TYPE_IDS = frozenset(
+    spec.type_id for spec in PROTOCOL_SPEC if spec.direction == "s->s")
 
 
 def render_protocol_reference() -> str:

@@ -55,6 +55,10 @@ __all__ = [
     "ReconnectAcceptMessage",
     "ReconnectDeniedMessage",
     "AttachDeniedMessage",
+    "SessionTransferMessage",
+    "MigrateBeginMessage",
+    "MigrateCompleteMessage",
+    "ShardAdmissionReportMessage",
     "ProtocolError",
     "ChecksumError",
     "TruncatedPayloadError",
@@ -137,6 +141,10 @@ _RECONNECT_REQ = 28
 _RECONNECT_ACCEPT = 29
 _RECONNECT_DENIED = 30
 _ATTACH_DENIED = 31
+_SESSION_TRANSFER = 32
+_MIGRATE_BEGIN = 33
+_MIGRATE_COMPLETE = 34
+_SHARD_ADMISSION = 35
 
 _INPUT_KINDS = ("mouse-move", "mouse-click", "key")
 
@@ -147,6 +155,10 @@ _RECONNECT_BODY = struct.Struct(">II")
 _ACCEPT_BODY = struct.Struct(">IB")
 _DENIED_BODY = struct.Struct(">d")
 _ATTACH_DENIED_BODY = struct.Struct(">Bd")
+
+# Fabric (shard-to-shard) message bodies.
+_MIGRATE_BODY = struct.Struct(">IH")
+_ADMISSION_BODY = struct.Struct(">HIQB")
 
 # Extra bytes a CHECKED wrapper adds around an already-framed message:
 # its own [type u8][len u32] header plus crc32[u32] and seq[u32].
@@ -622,6 +634,119 @@ class AttachDeniedMessage:
         return cls(reason, retry_after)
 
 
+@dataclass(frozen=True)
+class SessionTransferMessage:
+    """A frozen session crossing the shard fabric.
+
+    ``state`` is the serialized :class:`~repro.core.session_unit.
+    FrozenSession` surface — opaque at this layer so the wire format
+    needs no knowledge of the server core.  ``token`` rides alongside
+    in the clear so the fabric can route and account a transfer without
+    decoding the blob.  Fabric-internal: the uplink and downlink
+    parsers both reject it.
+    """
+
+    token: int
+    state: bytes
+
+    type_id = _SESSION_TRANSFER
+
+    def encode_payload(self) -> bytes:
+        return _U32.pack(self.token) + self.state
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "SessionTransferMessage":
+        _need(data, _U32.size, "SESSION_TRANSFER header")
+        if len(data) - _U32.size > LIMITS.max_transfer_bytes:
+            raise FrameTooLargeError(
+                f"SESSION_TRANSFER state of {len(data) - _U32.size} bytes "
+                f"exceeds {LIMITS.max_transfer_bytes}")
+        (token,) = _U32.unpack_from(data)
+        return cls(token, data[_U32.size:])
+
+
+def _shard_in_range(shard: int, what: str) -> int:
+    if shard > LIMITS.max_shard_id:
+        raise FieldRangeError(
+            f"{what} names shard {shard}, ceiling is "
+            f"{LIMITS.max_shard_id}")
+    return shard
+
+
+@dataclass(frozen=True)
+class MigrateBeginMessage:
+    """Coordinator tells the owning shard to freeze and hand off a
+    session: the start-of-migration mark on the fabric."""
+
+    token: int
+    target_shard: int
+
+    type_id = _MIGRATE_BEGIN
+
+    def encode_payload(self) -> bytes:
+        return _MIGRATE_BODY.pack(self.token, self.target_shard)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "MigrateBeginMessage":
+        _exactly(data, _MIGRATE_BODY.size, "MIGRATE_BEGIN")
+        token, shard = _MIGRATE_BODY.unpack_from(data)
+        return cls(token, _shard_in_range(shard, "MIGRATE_BEGIN"))
+
+
+@dataclass(frozen=True)
+class MigrateCompleteMessage:
+    """Target shard acknowledges it thawed the session and owns the
+    token; the coordinator flips its routing on receipt."""
+
+    token: int
+    shard: int
+
+    type_id = _MIGRATE_COMPLETE
+
+    def encode_payload(self) -> bytes:
+        return _MIGRATE_BODY.pack(self.token, self.shard)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "MigrateCompleteMessage":
+        _exactly(data, _MIGRATE_BODY.size, "MIGRATE_COMPLETE")
+        token, shard = _MIGRATE_BODY.unpack_from(data)
+        return cls(token, _shard_in_range(shard, "MIGRATE_COMPLETE"))
+
+
+@dataclass(frozen=True)
+class ShardAdmissionReportMessage:
+    """A shard reports its admission posture upward.
+
+    The fields are the shard governor's own gauges — live session
+    count, total buffered display bytes, and whether a fresh attach
+    would currently be admitted — which is exactly what the coordinator
+    needs for placement and overflow routing.
+    """
+
+    shard: int
+    sessions: int
+    queue_bytes: int
+    admitting: bool
+
+    type_id = _SHARD_ADMISSION
+
+    def encode_payload(self) -> bytes:
+        return _ADMISSION_BODY.pack(self.shard, self.sessions,
+                                    self.queue_bytes,
+                                    1 if self.admitting else 0)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "ShardAdmissionReportMessage":
+        _exactly(data, _ADMISSION_BODY.size, "SHARD_ADMISSION")
+        shard, sessions, queue_bytes, admitting = \
+            _ADMISSION_BODY.unpack_from(data)
+        if admitting > 1:
+            raise FieldRangeError(
+                f"SHARD_ADMISSION admitting flag {admitting} is not 0/1")
+        return cls(_shard_in_range(shard, "SHARD_ADMISSION"), sessions,
+                   queue_bytes, bool(admitting))
+
+
 _CONTROL_TYPES = {
     cls.type_id: cls
     for cls in (VideoSetupMessage, VideoMoveMessage, VideoTeardownMessage,
@@ -630,7 +755,9 @@ _CONTROL_TYPES = {
                 RefreshRequestMessage, ZoomRequestMessage,
                 CheckedFrame, HeartbeatMessage, ReconnectRequestMessage,
                 ReconnectAcceptMessage, ReconnectDeniedMessage,
-                AttachDeniedMessage)
+                AttachDeniedMessage, SessionTransferMessage,
+                MigrateBeginMessage, MigrateCompleteMessage,
+                ShardAdmissionReportMessage)
 }
 
 Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
@@ -638,7 +765,9 @@ Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
                 ResizeMessage, ScreenInitMessage, CheckedFrame,
                 HeartbeatMessage, ReconnectRequestMessage,
                 ReconnectAcceptMessage, ReconnectDeniedMessage,
-                AttachDeniedMessage]
+                AttachDeniedMessage, SessionTransferMessage,
+                MigrateBeginMessage, MigrateCompleteMessage,
+                ShardAdmissionReportMessage]
 
 
 def encode_message(msg: Message) -> bytes:

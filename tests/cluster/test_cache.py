@@ -1,0 +1,101 @@
+"""Shared prepare cache: content identity, LRU bounds, plane wiring."""
+
+import pytest
+
+from repro.cluster import SharedPrepareCache
+from repro.protocol.commands import SFillCommand
+from repro.region import Rect
+
+RED = (255, 0, 0, 255)
+BLUE = (0, 0, 255, 255)
+KEY_A = ("scale", 1, 1)
+KEY_B = ("scale", 2, 2)
+
+
+def fill(x=0, color=RED):
+    return SFillCommand(Rect(x, 0, 8, 8), color)
+
+
+class TestContentKeying:
+    def test_miss_then_hit(self):
+        cache = SharedPrepareCache()
+        cmd = fill()
+        assert cache.get(cmd, KEY_A) is None
+        cache.put(cmd, KEY_A, "entry")
+        assert cache.get(cmd, KEY_A) == "entry"
+        assert cache.stats() == {"hits": 1, "misses": 1,
+                                 "evictions": 0, "entries": 1}
+
+    def test_equal_content_shares_across_command_objects(self):
+        # The fabric case: two shards build identical commands from
+        # mirrored screens — distinct objects, same wire bytes.
+        cache = SharedPrepareCache()
+        cache.put(fill(), KEY_A, "entry")
+        assert cache.get(fill(), KEY_A) == "entry"
+
+    def test_different_content_and_scale_are_distinct(self):
+        cache = SharedPrepareCache()
+        cache.put(fill(color=RED), KEY_A, "red")
+        assert cache.get(fill(color=BLUE), KEY_A) is None
+        assert cache.get(fill(color=RED), KEY_B) is None
+        assert cache.get(fill(color=RED), KEY_A) == "red"
+
+    def test_content_crc_is_stamped_once(self):
+        cache = SharedPrepareCache()
+        cmd = fill()
+        cache.put(cmd, KEY_A, "e")
+        stamp = cmd._content_crc
+        cache.get(cmd, KEY_A)
+        assert cmd._content_crc == stamp
+
+
+class TestLRU:
+    def test_eviction_is_lru_and_bounded(self):
+        cache = SharedPrepareCache(max_entries=2)
+        a, b, c = fill(0), fill(8), fill(16)
+        cache.put(a, KEY_A, "a")
+        cache.put(b, KEY_A, "b")
+        assert cache.get(a, KEY_A) == "a"   # refresh a
+        cache.put(c, KEY_A, "c")            # evicts b, the cold one
+        assert cache.get(b, KEY_A) is None
+        assert cache.get(a, KEY_A) == "a"
+        assert cache.get(c, KEY_A) == "c"
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedPrepareCache(max_entries=0)
+
+
+class TestPlaneWiring:
+    def test_cross_shard_adoption_saves_prepare_work(self):
+        # Two real shards, mirrored draws: the second shard's plane
+        # must adopt the first one's prepared entry via the shared
+        # cache instead of re-preparing identical content.
+        from repro.core import THINCClient, THINCServer
+        from repro.display import WindowServer
+        from repro.net import Connection, EventLoop, LAN_DESKTOP
+
+        loop = EventLoop()
+        shared = SharedPrepareCache()
+        shards, screens, clients = [], [], []
+        for _ in range(2):
+            server = THINCServer(loop, 64, 48)
+            server.plane.shared_cache = shared
+            screens.append(WindowServer(64, 48, driver=server.driver,
+                                        clock=loop.clock))
+            conn = Connection(loop, LAN_DESKTOP)
+            server.attach_client(conn)
+            clients.append(THINCClient(loop, conn))
+            shards.append(server)
+        loop.run_until_idle(max_time=10)
+        baseline = shards[1].plane.stats.cache_misses
+        for ws in screens:
+            ws.fill_rect(ws.screen, Rect(4, 4, 16, 16), RED)
+        loop.run_until_idle(max_time=10)
+        assert shared.hits > 0
+        # Shard 1 burned no prepare CPU on the mirrored fill.
+        assert shards[1].plane.stats.cache_misses == baseline
+        for client, ws in zip(clients, screens):
+            assert client.fb.same_as(ws.screen.fb)

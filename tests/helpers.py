@@ -85,6 +85,45 @@ def make_resilient_rig(width=96, height=64, link=LAN_DESKTOP, plan=None,
     return loop, dial, server, ws, rc
 
 
+def make_shard_rig(shards=2, clients=2, width=96, height=64,
+                   link=LAN_DESKTOP, plan=None, config=None, end=1.5,
+                   workload_seed=7, schedule_workloads=True, **coord_kw):
+    """A shard-fabric rig: N servers behind a relay, resilient clients
+    dialling the relay exactly as they would a single server.
+
+    Every shard's window server runs the *same* scripted workload
+    (mirrored screens), so a session migrated between shards has an
+    exact uninterrupted twin to be compared against.  Fault *plan*
+    applies to every client dial (the shared absolute-time schedule,
+    as in :func:`make_resilient_rig`).
+
+    Returns ``(loop, coord, screens, rcs)``; drive with
+    ``loop.run_until(t)``.
+    """
+    from repro.cluster import ShardCoordinator
+
+    loop = EventLoop()
+    config = config or ResilienceConfig(
+        heartbeat_interval=0.1, liveness_timeout=0.35, check_interval=0.05,
+        backoff_base=0.05, backoff_jitter=0.2, detach_window=5.0)
+    coord = ShardCoordinator(loop, shards, width, height,
+                             resilience=config, **coord_kw)
+    screens = []
+    for server in coord.shards:
+        ws = WindowServer(width, height, driver=server.driver,
+                          clock=loop.clock)
+        if schedule_workloads:
+            scripted_workload(loop, ws, end=end, seed=workload_seed)
+        screens.append(ws)
+    dial = dial_factory(loop, link, coord.relay.accept, plan=plan)
+    rcs = []
+    for i in range(clients):
+        rc = ResilientClient(loop, dial, config=config, seed=i)
+        rc.start()
+        rcs.append(rc)
+    return loop, coord, screens, rcs
+
+
 def scripted_workload(loop, ws, end=1.5, step=0.05, seed=7):
     """Schedule a deterministic mixed drawing workload over [0, end).
 

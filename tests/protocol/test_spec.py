@@ -30,7 +30,11 @@ class TestSpecConsistency:
 
     def test_directions_valid(self):
         for entry in spec.PROTOCOL_SPEC:
-            assert entry.direction in ("s->c", "c->s"), entry.name
+            assert entry.direction in ("s->c", "c->s", "s->s"), entry.name
+
+    def test_fabric_ids_never_client_facing(self):
+        assert not spec.FABRIC_TYPE_IDS & spec.UPLINK_TYPE_IDS
+        assert not spec.FABRIC_TYPE_IDS & spec.DOWNLINK_TYPE_IDS
 
     def test_table1_commands_present_by_name(self):
         names = {s.name for s in spec.PROTOCOL_SPEC}

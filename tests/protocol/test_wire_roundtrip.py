@@ -33,6 +33,7 @@ retry_after = st.floats(0.0, float(LIMITS.max_retry_after),
 ascii_fmt = st.text(
     alphabet=st.characters(min_codepoint=32, max_codepoint=126),
     max_size=LIMITS.max_pixel_format_len)
+shard_ids = st.integers(0, LIMITS.max_shard_id)
 
 
 def _cursor_messages():
@@ -78,6 +79,15 @@ STRATEGIES = {
         st.sampled_from((wire.DENY_SERVER_FULL, wire.DENY_SESSION_BUDGET,
                          wire.DENY_QUARANTINED)),
         retry_after),
+    wire.SessionTransferMessage: st.builds(
+        wire.SessionTransferMessage, u32, st.binary(max_size=512)),
+    wire.MigrateBeginMessage: st.builds(
+        wire.MigrateBeginMessage, u32, shard_ids),
+    wire.MigrateCompleteMessage: st.builds(
+        wire.MigrateCompleteMessage, u32, shard_ids),
+    wire.ShardAdmissionReportMessage: st.builds(
+        wire.ShardAdmissionReportMessage, shard_ids, u32,
+        st.integers(0, 2 ** 64 - 1), st.booleans()),
 }
 STRATEGIES[wire.CheckedFrame] = st.builds(
     wire.CheckedFrame, u32, st.one_of(*STRATEGIES.values()))
@@ -181,6 +191,24 @@ class TestTypedLimits:
         payload = struct.pack(">Id", 1, float("nan"))
         with pytest.raises(wire.FieldRangeError):
             wire.HeartbeatMessage.decode_payload(payload)
+
+    def test_transfer_state_limit(self):
+        payload = struct.pack(">I", 1) + b"\x00" * (
+            LIMITS.max_transfer_bytes + 1)
+        with pytest.raises(wire.FrameTooLargeError):
+            wire.SessionTransferMessage.decode_payload(payload)
+
+    def test_shard_id_limit(self):
+        payload = struct.pack(">IH", 1, LIMITS.max_shard_id + 1)
+        with pytest.raises(wire.FieldRangeError):
+            wire.MigrateBeginMessage.decode_payload(payload)
+
+    def test_fabric_frames_rejected_on_uplink(self):
+        parser = wire.StreamParser(allowed=UPLINK_TYPE_IDS)
+        framed = wire.encode_message(
+            wire.SessionTransferMessage(7, b"state"))
+        with pytest.raises(wire.FieldRangeError):
+            parser.feed(framed)
 
     def test_parser_consumes_good_prefix_before_raising(self):
         good = wire.encode_message(wire.HeartbeatMessage(4, 1.0))
