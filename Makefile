@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze sanitize chaos fuzz fuzz-smoke cluster-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze contracts-doc sanitize chaos fuzz fuzz-smoke cluster-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -14,10 +14,22 @@ lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
 	else echo "ruff not installed; skipping lint"; fi
 
-# THINC-specific invariants: thinclint AST rules + import layering.
-# Fails on any finding *or* any suppression inside src/repro.
+# THINC-specific invariants: thinclint AST rules + import layering,
+# then the whole-program THL2xx contract pass (spec conformance,
+# parser direction sets, dead wire ids, serialization drift, clock
+# discipline over src+tests+benchmarks) gated by the committed
+# findings baseline.  The second pass also regenerates the
+# conformance matrix in memory and fails if docs/CONTRACTS.md is
+# stale.  Fails on any finding *or* any suppression inside src/repro.
 analyze:
 	PYTHONPATH=src $(PY) -m repro.analysis --list-suppressions
+	PYTHONPATH=src $(PY) -m repro.analysis --contracts \
+	  --matrix-check docs/CONTRACTS.md
+
+# Regenerate the committed conformance matrix after protocol changes.
+contracts-doc:
+	PYTHONPATH=src $(PY) -m repro.analysis --contracts \
+	  --matrix-out docs/CONTRACTS.md
 
 # Tier-1 suite with every command queue self-checking its replay
 # invariants after each mutation (see docs/ANALYSIS.md).

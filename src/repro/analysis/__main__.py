@@ -4,11 +4,27 @@ Usage::
 
     python -m repro.analysis [paths...] [--lint-only | --layering-only]
                              [--list-suppressions]
+    python -m repro.analysis --contracts [root]
+                             [--baseline FILE] [--sweep DIR ...]
+                             [--matrix-out FILE | --matrix-check FILE]
 
 With no paths, analyzes the installed ``repro`` package tree (which is
-``src/repro`` when run from a checkout).  Exits 1 when any finding is
-reported, 0 otherwise — this is what ``make analyze`` and the CI
-``analyze`` job run.
+``src/repro`` when run from a checkout).  The default mode runs
+thinclint + the layering checker and exits 1 on any finding — this is
+what ``make analyze`` and the CI ``analyze`` job run.
+
+``--contracts`` runs the whole-program THL2xx contract rules instead:
+findings are gated through the committed baseline
+(``analysis_baseline.json`` at the repo root, or ``--baseline``) — any
+*new* finding fails, accepted findings are tracked against the
+baseline's suppression budget, and baselined findings that no longer
+fire are flagged stale so the baseline only ever burns down.
+``--matrix-out`` writes the generated conformance matrix
+(``docs/CONTRACTS.md``); ``--matrix-check`` regenerates it in memory
+and fails if the file on disk is stale.  ``--sweep`` adds extra trees
+(``tests/``, ``benchmarks/``) to the THL205 wall-clock sweep; with the
+default root, sibling ``tests/`` and ``benchmarks/`` directories are
+swept automatically.
 """
 
 from __future__ import annotations
@@ -17,6 +33,10 @@ import argparse
 import sys
 from pathlib import Path
 
+from .contracts import (apply_baseline, check_clock_sweep,
+                        check_contracts, load_baseline,
+                        render_contract_matrix)
+from .facts import extract_facts
 from .findings import format_findings
 from .layering import check_layering
 from .lint import find_suppressions, lint_path
@@ -27,10 +47,75 @@ def _default_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def _run_contracts(args) -> int:
+    root = args.paths[0] if args.paths else _default_root()
+    if not root.exists():
+        print(f"error: {root} does not exist", file=sys.stderr)
+        return 2
+    facts = extract_facts(root)
+    findings = list(check_contracts(facts))
+
+    sweeps = list(args.sweep)
+    if not args.paths:
+        # From a checkout, src/repro's grandparent is the repo root.
+        repo = root.parent.parent
+        for name in ("tests", "benchmarks"):
+            candidate = repo / name
+            if candidate.is_dir():
+                sweeps.append(candidate)
+    for sweep in sweeps:
+        if not Path(sweep).exists():
+            print(f"error: sweep path {sweep} does not exist",
+                  file=sys.stderr)
+            return 2
+        findings.extend(check_clock_sweep(Path(sweep)))
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.paths:
+        candidate = root.parent.parent / "analysis_baseline.json"
+        if candidate.exists():
+            baseline_path = candidate
+    baseline = load_baseline(baseline_path)
+    result = apply_baseline(sorted(findings), baseline, root)
+
+    failed = not result.ok
+    if result.new:
+        print(format_findings(result.new))
+    for finding in result.accepted:
+        print(f"baseline: {finding.render()}")
+    for key in result.stale:
+        print(f"stale baseline entry (fix shipped? remove it): {key}")
+    if result.over_budget:
+        print(f"baseline over budget: {len(result.accepted)} accepted "
+              f"finding(s) exceed the suppression budget of "
+              f"{baseline.budget}")
+
+    matrix = render_contract_matrix(facts)
+    if args.matrix_out is not None:
+        args.matrix_out.parent.mkdir(parents=True, exist_ok=True)
+        args.matrix_out.write_text(matrix)
+        print(f"wrote {args.matrix_out}", file=sys.stderr)
+    if args.matrix_check is not None:
+        on_disk = args.matrix_check.read_text() \
+            if args.matrix_check.exists() else ""
+        if on_disk != matrix:
+            print(f"{args.matrix_check} is stale; regenerate with "
+                  f"python -m repro.analysis --contracts --matrix-out "
+                  f"{args.matrix_check}")
+            failed = True
+
+    print(f"repro.analysis (contracts): {len(result.new)} new, "
+          f"{len(result.accepted)} baselined, {len(result.stale)} "
+          f"stale finding(s) over {len(facts.spec)} spec ids",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="thinclint + layering checks for the THINC repo")
+        description="thinclint + layering + protocol-contract checks "
+                    "for the THINC repo")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories (default: the repro "
                              "package tree)")
@@ -39,10 +124,33 @@ def main(argv=None) -> int:
                        help="run only the AST lint rules")
     group.add_argument("--layering-only", action="store_true",
                        help="run only the import-layering checker")
+    group.add_argument("--contracts", action="store_true",
+                       help="run the whole-program THL2xx contract "
+                            "rules with the findings baseline")
     parser.add_argument("--list-suppressions", action="store_true",
                         help="also list every 'thinclint: skip' marker "
                              "(the src/repro tree must have none)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="findings baseline JSON (default: "
+                             "analysis_baseline.json at the repo root)")
+    parser.add_argument("--sweep", type=Path, action="append",
+                        default=[],
+                        help="extra tree for the THL205 clock sweep "
+                             "(repeatable)")
+    parser.add_argument("--matrix-out", type=Path, default=None,
+                        help="write the generated conformance matrix "
+                             "(docs/CONTRACTS.md) here")
+    parser.add_argument("--matrix-check", type=Path, default=None,
+                        help="fail if this file differs from the "
+                             "regenerated conformance matrix")
     args = parser.parse_args(argv)
+
+    if args.contracts:
+        if len(args.paths) > 1:
+            print("error: --contracts takes at most one root",
+                  file=sys.stderr)
+            return 2
+        return _run_contracts(args)
 
     roots = args.paths or [_default_root()]
     findings = []

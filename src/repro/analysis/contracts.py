@@ -1,0 +1,563 @@
+"""THL2xx: whole-program protocol-contract rules.
+
+The per-file linter (:mod:`repro.analysis.lint`) checks what one
+function can prove about itself; the rules here cross-check the facts
+:mod:`repro.analysis.facts` extracts from the *whole* tree against the
+``PROTOCOL_SPEC`` registry:
+
+========  ====================================================================
+THL200    every ``type_id`` is registered in the spec, exactly once,
+          and matches the class the spec names
+THL201    direction conformance — every directional ``StreamParser``
+          names a spec-derived accept set, every accept set is
+          enforced by at least one parser, and no dispatch scope
+          handles a message its side can never legitimately receive
+THL202    every registered message has a reachable handler on its
+          declared receiving side (no dead wire ids)
+THL203    interprocedural THL007 — a field unpacked in any
+          ``decode_payload`` that sizes a slice must flow through a
+          ``WireLimits`` comparison, a clamp, or a guard helper
+          (``_need``/``_exactly``/``_finite``/...), including through
+          one level of helper calls
+THL204    serialization-surface drift — every mutable ``SessionUnit``
+          attribute is captured by ``freeze()`` or allowlisted in
+          ``NOT_SERIALIZED`` with a reason
+THL205    simulated-clock discipline — no wall-clock API outside the
+          injected-clock modules
+========  ====================================================================
+
+The module also renders the generated conformance matrix
+(``docs/CONTRACTS.md``) and implements the findings baseline
+(``analysis_baseline.json``): CI fails on any *new* finding, accepted
+findings are tracked against a suppression budget, and entries that no
+longer fire are flagged stale so the baseline burns down monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .facts import (ClockCall, Facts, MessageRef, ParserSite,
+                    collect_clock_calls)
+from .findings import Finding
+
+__all__ = [
+    "CONTRACT_RULES", "check_contracts", "check_clock_sweep",
+    "render_contract_matrix", "finding_key",
+    "Baseline", "load_baseline", "apply_baseline", "BaselineResult",
+]
+
+#: Rule catalogue, rendered into docs/ANALYSIS.md's table.
+CONTRACT_RULES = (
+    ("THL200", "unregistered-type-id",
+     "Every class-level type_id is registered in PROTOCOL_SPEC exactly "
+     "once, under the class the spec names."),
+    ("THL201", "direction-violation",
+     "Directional StreamParsers name a spec-derived accept set "
+     "(SERVER_ACCEPTS/CLIENT_ACCEPTS/FABRIC_ACCEPTS), each set is "
+     "enforced by at least one parser, and no dispatch scope handles "
+     "an id its side can never legitimately receive."),
+    ("THL202", "dead-wire-id",
+     "Every registered message has a reachable handler on its declared "
+     "receiving side."),
+    ("THL203", "unguarded-decode-field",
+     "A decode_payload field that sizes a slice must flow through a "
+     "WireLimits comparison, clamp, or guard helper first (one level "
+     "of helper calls is followed)."),
+    ("THL204", "serialization-drift",
+     "Mutable SessionUnit state appears in freeze() or in the "
+     "NOT_SERIALIZED allowlist with a reason string."),
+    ("THL205", "wall-clock",
+     "No time.time()/time.monotonic()/datetime.now() outside the "
+     "injected-clock modules; tests/ and benchmarks/ are swept too."),
+)
+
+#: Modules allowed to touch the host clock (the injected-clock layer).
+CLOCK_EXEMPT = ("net/clock.py",)
+
+#: Directional parser expectations: module prefix -> role.  A
+#: ``StreamParser`` in one of these modules must name the role's
+#: accept set; parsers elsewhere (offline trace/bench diagnostics) are
+#: exempt and listed as such in the conformance matrix.
+PARSER_ROLES: Tuple[Tuple[str, str], ...] = (
+    ("core/session_unit.py", "server"),
+    ("core/client.py", "client"),
+    ("core/miniclient.py", "client"),
+    ("cluster/", "fabric"),
+    ("fuzz/", "server"),  # the fuzzer mirrors the server's uplink
+)
+
+#: Accept-set names each role may cite (the spec alias and the raw
+#: direction set it aliases).
+ROLE_SET_NAMES: Dict[str, Tuple[str, ...]] = {
+    "server": ("SERVER_ACCEPTS", "UPLINK_TYPE_IDS"),
+    "client": ("CLIENT_ACCEPTS", "DOWNLINK_TYPE_IDS"),
+    "fabric": ("FABRIC_ACCEPTS", "FABRIC_TYPE_IDS"),
+}
+
+#: Coverage requirement: the modules whose presence obliges a working
+#: parser for the role (the fuzzer is a mirror, not an obligation).
+ROLE_COVERAGE: Dict[str, Tuple[str, ...]] = {
+    "server": ("core/session_unit.py",),
+    "client": ("core/client.py", "core/miniclient.py"),
+    "fabric": ("cluster/",),
+}
+
+#: Dispatch scopes: (module, class or "*" or "" for module level,
+#: side).  Message references *outside* these scopes are not dispatch
+#: (translation/prepare code legitimately inspects command classes on
+#: the send path) and are never direction-checked.
+DISPATCH_SCOPES: Tuple[Tuple[str, str, str], ...] = (
+    ("core/server.py", "THINCServer", "server"),
+    ("core/session_unit.py", "SessionUnit", "server"),
+    ("core/resilience.py", "ResiliencePlane", "server"),
+    ("core/resilience.py", "ResilientClient", "client"),
+    ("core/resilience.py", "", "prelude"),  # _decode_prelude helpers
+    ("core/client.py", "THINCClient", "client"),
+    ("core/miniclient.py", "MiniClient", "client"),
+    ("cluster/relay.py", "*", "prelude"),
+    ("cluster/coordinator.py", "ShardCoordinator", "fabric"),
+)
+
+#: The clear-text connection prelude: the only ids a prelude peek may
+#: legitimately inspect, whichever direction it faces.
+PRELUDE_NAMES = frozenset({
+    "CHECKED", "RECONNECT_REQ", "RECONNECT_ACCEPT", "RECONNECT_DENIED"})
+
+
+# --- derived views over the facts -------------------------------------------
+
+@dataclass(frozen=True)
+class _SpecView:
+    """Direction sets and name->id resolution, derived from the spec."""
+
+    ids: FrozenSet[int]
+    side_ids: Dict[str, FrozenSet[int]]  # side -> accepted ids
+    impl_to_id: Dict[str, int]
+    command_ids: FrozenSet[int]          # ids whose impl is a Command subclass
+
+
+def _spec_view(facts: Facts) -> _SpecView:
+    server = frozenset(e.type_id for e in facts.spec
+                       if e.direction == "c->s")
+    client = frozenset(e.type_id for e in facts.spec
+                       if e.direction == "s->c") \
+        | frozenset(e.type_id for e in facts.spec if e.name == "HEARTBEAT")
+    fabric = frozenset(e.type_id for e in facts.spec
+                       if e.direction == "s->s")
+    prelude = frozenset(e.type_id for e in facts.spec
+                        if e.name in PRELUDE_NAMES)
+    impl_to_id = {e.implementation: e.type_id for e in facts.spec}
+    commands_module = {m.name: m.module for m in facts.messages}
+    command_ids = frozenset(
+        e.type_id for e in facts.spec
+        if commands_module.get(e.implementation, "")
+        .endswith("protocol/commands.py"))
+    return _SpecView(
+        ids=frozenset(e.type_id for e in facts.spec),
+        side_ids={"server": server, "client": client,
+                  "fabric": fabric, "prelude": prelude},
+        impl_to_id=impl_to_id, command_ids=command_ids)
+
+
+def _resolve_ref(name: str, view: _SpecView) -> Optional[FrozenSet[int]]:
+    """The spec ids a referenced class name stands for (None if it is
+    not a registered message)."""
+    if name == "Command":
+        return view.command_ids or None
+    type_id = view.impl_to_id.get(name)
+    return frozenset({type_id}) if type_id is not None else None
+
+
+def _dispatch_side(ref: MessageRef) -> Optional[str]:
+    for module, cls, side in DISPATCH_SCOPES:
+        if ref.module != module:
+            continue
+        if cls == "*" or ref.scope_class == cls:
+            return side
+    return None
+
+
+def _parser_role(site: ParserSite) -> Optional[str]:
+    for prefix, role in PARSER_ROLES:
+        if site.module == prefix or site.module.startswith(prefix):
+            return role
+    return None
+
+
+# --- the rules ---------------------------------------------------------------
+
+def check_contracts(facts: Facts) -> List[Finding]:
+    """Run THL200–THL205 over one extracted fact set."""
+    findings: List[Finding] = []
+    view = _spec_view(facts)
+    path_of = {m: str(facts.root / m) for m in facts.modules}
+
+    def add(rule: str, module: str, line: int, message: str) -> None:
+        findings.append(Finding(path=path_of.get(module,
+                                                 str(facts.root / module)),
+                                line=line, col=0, rule=rule,
+                                message=message))
+
+    _thl200(facts, view, add)
+    _thl201(facts, view, add)
+    _thl202(facts, view, add)
+    _thl203(facts, view, add)
+    _thl204(facts, add)
+    _thl205(facts.clock_calls, add, exempt=CLOCK_EXEMPT)
+    return sorted(findings)
+
+
+def _thl200(facts: Facts, view: _SpecView, add) -> None:
+    spec_path = "protocol/spec.py"
+    seen: Dict[int, str] = {}
+    for entry in facts.spec:
+        if entry.type_id in seen:
+            add("THL200", spec_path, entry.line,
+                f"type id {entry.type_id} registered twice in "
+                f"PROTOCOL_SPEC ({seen[entry.type_id]} and {entry.name})")
+        seen[entry.type_id] = entry.name
+    by_id: Dict[int, List] = {}
+    for msg in facts.messages:
+        # type_id 0 is the Command base class's never-on-the-wire
+        # sentinel, not a registrable id.
+        if msg.type_id == 0:
+            continue
+        by_id.setdefault(msg.type_id, []).append(msg)
+    impl_names = frozenset(e.implementation for e in facts.spec)
+    for type_id, classes in sorted(by_id.items()):
+        if len(classes) > 1:
+            names = ", ".join(sorted(c.name for c in classes))
+            add("THL200", classes[-1].module, classes[-1].line,
+                f"type id {type_id} claimed by multiple classes "
+                f"({names})")
+        for cls in classes:
+            if type_id not in view.ids and cls.name not in impl_names:
+                add("THL200", cls.module, cls.line,
+                    f"message class {cls.name} declares type id "
+                    f"{type_id}, which PROTOCOL_SPEC does not register")
+    class_ids = {m.name: m.type_id for m in facts.messages}
+    for entry in facts.spec:
+        declared = class_ids.get(entry.implementation)
+        if declared is None:
+            add("THL200", spec_path, entry.line,
+                f"spec entry {entry.name} (id {entry.type_id}) names "
+                f"implementation {entry.implementation}, which defines "
+                f"no type_id in the tree")
+        elif declared != entry.type_id:
+            add("THL200", spec_path, entry.line,
+                f"spec registers {entry.name} as id {entry.type_id} "
+                f"but {entry.implementation} declares {declared}")
+
+
+def _thl201(facts: Facts, view: _SpecView, add) -> None:
+    # (a) every directional parser names its role's accept set.
+    for site in facts.parsers:
+        role = _parser_role(site)
+        if role is None:
+            continue
+        expected = ROLE_SET_NAMES[role]
+        if site.allowed in expected:
+            continue
+        if site.allowed in ("missing", "None"):
+            how = "no allowed-id set"
+        elif site.allowed == "<expr>":
+            how = "an allowed set that is not a spec export " \
+                  "(widening expression?)"
+        else:
+            how = f"allowed={site.allowed}"
+        add("THL201", site.module, site.line,
+            f"{site.scope} builds a {role}-link StreamParser with "
+            f"{how}; expected allowed={expected[0]} from protocol.spec")
+    # (b) every accept set is enforced by at least one parser.
+    for role, prefixes in ROLE_COVERAGE.items():
+        present = any(m == p or m.startswith(p)
+                      for m in facts.modules for p in prefixes)
+        if not present or not view.side_ids[role]:
+            continue
+        sites = [s for s in facts.parsers
+                 if any(s.module == p or s.module.startswith(p)
+                        for p in prefixes)]
+        if not sites:
+            ids = ", ".join(map(str, sorted(view.side_ids[role])))
+            add("THL201", prefixes[0], 1,
+                f"no StreamParser on the {role} link enforces "
+                f"{ROLE_SET_NAMES[role][0]}; ids {ids} parse "
+                f"unrestricted there")
+    # (c) dispatch scopes only handle ids their side can receive.
+    flagged = set()
+    for ref in facts.refs:
+        if ref.kind != "isinstance":
+            continue
+        side = _dispatch_side(ref)
+        if side is None:
+            continue
+        ids = _resolve_ref(ref.name, view)
+        if ids is None or ids <= view.side_ids[side]:
+            continue
+        key = (ref.module, ref.scope_class, ref.name)
+        if key in flagged:
+            continue
+        flagged.add(key)
+        foreign = sorted(ids - view.side_ids[side])
+        add("THL201", ref.module, ref.line,
+            f"{ref.scope_class or '<module>'}.{ref.scope_func or '?'} "
+            f"dispatches on {ref.name} (id(s) "
+            f"{', '.join(map(str, foreign))}) but is a {side}-side "
+            f"scope that can never legitimately receive it")
+
+
+def _thl202(facts: Facts, view: _SpecView, add) -> None:
+    spec_path = "protocol/spec.py"
+    side_present = {
+        side: any(module in facts.modules
+                  for module, _cls, s in DISPATCH_SCOPES if s == side)
+        for side in ("server", "client", "fabric")
+    }
+    for entry in facts.spec:
+        sides = [s for s in ("server", "client", "fabric")
+                 if entry.type_id in view.side_ids[s]]
+        for side in sides:
+            if not side_present.get(side, False):
+                continue
+            if _handled(entry.implementation, entry.type_id, side,
+                        facts, view):
+                continue
+            add("THL202", spec_path, entry.line,
+                f"{entry.name} (id {entry.type_id}, "
+                f"{entry.direction}) has no reachable handler on its "
+                f"{side} side: dead wire id")
+
+
+def _handled(impl: str, type_id: int, side: str, facts: Facts,
+             view: _SpecView) -> bool:
+    for ref in facts.refs:
+        if _dispatch_side(ref) != side:
+            continue
+        if side != "fabric" and ref.kind != "isinstance":
+            continue  # fabric consumes via construction + log adoption
+        ids = _resolve_ref(ref.name, view)
+        if ids is not None and type_id in ids:
+            return True
+    return False
+
+
+def _thl203(facts: Facts, view: _SpecView, add) -> None:
+    for msg in facts.messages:
+        if msg.decode is None:
+            continue
+        reported = set()
+        for field, line in msg.decode.size_uses:
+            if field not in msg.decode.fields:
+                continue  # not attacker-controlled payload data
+            if field in msg.decode.guarded or field in reported:
+                continue
+            reported.add(field)
+            add("THL203", msg.module, line,
+                f"{msg.name}.decode_payload sizes a slice with "
+                f"unpacked field '{field}' without a WireLimits "
+                f"comparison or guard helper (_need/_exactly/clamp)")
+
+
+def _thl204(facts: Facts, add) -> None:
+    surface = facts.session
+    if surface is None:
+        return
+    allow = dict(surface.not_serialized)
+    for attr in sorted(surface.assigned
+                       - surface.frozen_reads - set(allow)):
+        add("THL204", surface.module, surface.line,
+            f"SessionUnit.{attr} is mutable session state but is "
+            f"neither captured by freeze() nor allowlisted in "
+            f"NOT_SERIALIZED")
+    for attr, reason in surface.not_serialized:
+        if attr in surface.frozen_reads:
+            add("THL204", surface.module, surface.line,
+                f"NOT_SERIALIZED lists {attr!r}, but freeze() captures "
+                f"it — stale allowlist entry")
+        elif attr not in surface.assigned:
+            add("THL204", surface.module, surface.line,
+                f"NOT_SERIALIZED lists {attr!r}, which SessionUnit "
+                f"never assigns — stale allowlist entry")
+        elif not reason:
+            add("THL204", surface.module, surface.line,
+                f"NOT_SERIALIZED entry {attr!r} has no reason string")
+
+
+def _thl205(calls: Iterable[ClockCall], add,
+            exempt: Tuple[str, ...] = ()) -> None:
+    for call in calls:
+        if any(call.module == e or call.module.startswith(e)
+               for e in exempt):
+            continue
+        add("THL205", call.module, call.line,
+            f"wall-clock call {call.api}() outside the injected-clock "
+            f"modules; simulated time comes from the event loop")
+
+
+def check_clock_sweep(root: Path, label: str = "") -> List[Finding]:
+    """THL205 over an arbitrary tree (tests/, benchmarks/)."""
+    findings: List[Finding] = []
+    root = Path(root)
+
+    def add(rule: str, module: str, line: int, message: str) -> None:
+        findings.append(Finding(path=str(root / module), line=line,
+                                col=0, rule=rule, message=message))
+
+    _thl205(collect_clock_calls(root), add)
+    return sorted(findings)
+
+
+# --- the findings baseline ---------------------------------------------------
+
+def finding_key(finding: Finding, root: Path) -> str:
+    """A line-independent identity for a finding: rule + root-relative
+    path + message (messages carry no line numbers by construction, so
+    unrelated edits never churn the baseline)."""
+    path = Path(finding.path)
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return f"{finding.rule}|{rel}|{finding.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    budget: int
+    keys: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    new: Tuple[Finding, ...]       # fail: not in the baseline
+    accepted: Tuple[Finding, ...]  # pass, tracked against the budget
+    stale: Tuple[str, ...]         # fail: baselined but no longer firing
+    over_budget: int               # accepted findings beyond the budget
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale and self.over_budget == 0
+
+
+def load_baseline(path: Optional[Path]) -> Baseline:
+    if path is None or not Path(path).exists():
+        return Baseline(budget=0, keys=frozenset())
+    data = json.loads(Path(path).read_text())
+    return Baseline(budget=int(data.get("suppression_budget", 0)),
+                    keys=frozenset(data.get("findings", ())))
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: Baseline,
+                   root: Path) -> BaselineResult:
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    fired = set()
+    for finding in findings:
+        key = finding_key(finding, root)
+        fired.add(key)
+        (accepted if key in baseline.keys else new).append(finding)
+    stale = tuple(sorted(baseline.keys - fired))
+    over = max(0, len(accepted) - baseline.budget)
+    return BaselineResult(new=tuple(new), accepted=tuple(accepted),
+                          stale=stale, over_budget=over)
+
+
+# --- the conformance matrix --------------------------------------------------
+
+def render_contract_matrix(facts: Facts) -> str:
+    """``docs/CONTRACTS.md``: id × direction × parsers-that-accept ×
+    handlers × bound-fields, generated from the extracted facts."""
+    view = _spec_view(facts)
+    set_ids = {name: view.side_ids[role]
+               for role, names in ROLE_SET_NAMES.items() for name in names}
+
+    directional: List[Tuple[str, ParserSite]] = []
+    diagnostic: List[ParserSite] = []
+    for site in facts.parsers:
+        if site.allowed in set_ids:
+            directional.append((site.allowed, site))
+        elif _parser_role(site) is None:
+            diagnostic.append(site)
+
+    impl_of = {e.type_id: e.implementation for e in facts.spec}
+
+    def parsers_for(type_id: int) -> str:
+        labels = sorted({f"`{site.module}::{site.scope}`"
+                         for name, site in directional
+                         if type_id in set_ids[name]})
+        return ", ".join(labels) if labels else "—"
+
+    def handlers_for(type_id: int) -> str:
+        labels = set()
+        impl = impl_of.get(type_id)
+        for ref in facts.refs:
+            side = _dispatch_side(ref)
+            if side is None:
+                continue
+            if side != "fabric" and ref.kind != "isinstance":
+                continue
+            ids = _resolve_ref(ref.name, view)
+            if ids is None or type_id not in ids:
+                continue
+            suffix = " (Command fan-out)" if ref.name != impl else ""
+            scope = ref.scope_class or ref.scope_func or "<module>"
+            labels.add(f"`{ref.module}::{scope}`{suffix}")
+        return ", ".join(sorted(labels)) if labels else "—"
+
+    def bounds_for(type_id: int) -> str:
+        impl = impl_of.get(type_id)
+        fact = next((m for m in facts.messages if m.name == impl), None)
+        if fact is None or fact.decode is None or not fact.decode.fields:
+            return "—"
+        parts = [f"{f}*" if f in fact.decode.guarded else f
+                 for f in sorted(fact.decode.fields)]
+        return ", ".join(parts)
+
+    lines = [
+        "# THINC protocol conformance matrix",
+        "",
+        "Generated by `python -m repro.analysis --contracts` from the",
+        "facts in `repro.analysis.facts` — **do not edit**; `make",
+        "analyze` fails when this file is stale.  For every registered",
+        "wire id: who parses it, who handles it, and which payload",
+        "fields are bounds-checked (`*` = the field flows through a",
+        "`WireLimits` comparison or guard helper before use, THL203).",
+        "",
+        "| id | message | dir | parsers that accept it | handlers "
+        "| decode fields |",
+        "|---|---|---|---|---|---|",
+    ]
+    for entry in sorted(facts.spec, key=lambda e: e.type_id):
+        lines.append(
+            f"| {entry.type_id} | `{entry.name}` | {entry.direction} "
+            f"| {parsers_for(entry.type_id)} "
+            f"| {handlers_for(entry.type_id)} "
+            f"| {bounds_for(entry.type_id)} |")
+    lines += [
+        "",
+        "Ids 32–35 are `s->s` only: no client-facing parser set",
+        "contains them, so they die at the frame header on any",
+        "client link (THL201).",
+        "",
+        "## Diagnostic parsers (exempt from THL201)",
+        "",
+        "Offline tooling parses captured streams of either direction:",
+        "",
+    ]
+    for site in sorted(diagnostic, key=lambda s: (s.module, s.line)):
+        lines.append(f"* `{site.module}::{site.scope}`")
+    if not diagnostic:
+        lines.append("* (none)")
+    lines += [
+        "",
+        "## Clock-exempt modules (THL205)",
+        "",
+    ]
+    for module in CLOCK_EXEMPT:
+        lines.append(f"* `{module}` — the injected-clock layer itself")
+    lines.append("")
+    return "\n".join(lines)

@@ -41,6 +41,8 @@ from ..core.server import THINCServer
 from ..core.session_unit import FrozenSession, SessionUnit
 from ..net.link import LinkParams
 from ..protocol import wire
+from ..protocol.limits import LIMITS
+from ..protocol.spec import FABRIC_ACCEPTS
 from .cache import SharedPrepareCache
 from .hashring import HashRing
 from .relay import FABRIC_LAN, Relay
@@ -78,8 +80,14 @@ class ShardCoordinator:
         self.relay = Relay(self, fabric_link=fabric_link,
                            buffer_limit=relay_buffer_limit)
         #: Decoded control-plane traffic, in send order (every entry
-        #: has been through encode_message + parse_messages).
+        #: has been through encode_message + the fabric parser).
         self.fabric_log: List[object] = []
+        #: The fabric's receive parser: like every other link in the
+        #: system, shard-to-shard traffic parses under a spec-derived
+        #: allowed-id set (THL201) — a display or control frame that
+        #: strays onto the fabric dies at the frame header.
+        self._fabric_parser = wire.StreamParser(
+            max_frame=LIMITS.max_frame_bytes, allowed=FABRIC_ACCEPTS)
         self.migrations: List[Dict[str, float]] = []
         self.transfer_bytes = 0
 
@@ -91,11 +99,12 @@ class ShardCoordinator:
         The simulation keeps shards in one process, so the "network"
         here is the encoder and parser themselves: every control
         message and every session transfer must survive its own wire
-        format, which is what keeps the spec honest.
+        format — under the fabric's allowed-id set — which is what
+        keeps the spec honest.
         """
         framed = wire.encode_message(msg)
         self.transfer_bytes += len(framed)
-        (decoded,) = wire.parse_messages(framed)
+        (decoded,) = self._fabric_parser.feed(framed)
         self.fabric_log.append(decoded)
         return decoded
 

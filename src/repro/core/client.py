@@ -27,7 +27,9 @@ from ..net.clock import EventLoop
 from ..net.transport import Connection
 from ..protocol import wire
 from ..protocol.commands import Command, VideoFrameCommand
+from ..protocol.limits import LIMITS
 from ..protocol.rc4 import RC4
+from ..protocol.spec import CLIENT_ACCEPTS
 
 __all__ = ["THINCClient", "ClientCostModel", "VideoStreamStats",
            "AudioStats"]
@@ -75,7 +77,7 @@ class THINCClient:
     # Sanity cap on a frame's declared payload length: a corrupted
     # header must raise a ProtocolError, not stall the parser forever
     # waiting for gigabytes that will never arrive.
-    MAX_FRAME = 1 << 24
+    MAX_FRAME = LIMITS.max_frame_bytes
 
     def __init__(self, loop: EventLoop, connection: Optional[Connection],
                  viewport: Optional[Tuple[int, int]] = None,
@@ -88,7 +90,7 @@ class THINCClient:
         self._decrypt_key = decrypt_key
         self.cipher = RC4(decrypt_key) if decrypt_key else None
         self.cost_model = cost_model or ClientCostModel()
-        self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+        self.parser = self._make_parser()
         # Resilience state: highest CHECKED sequence applied (resync
         # replay duplicates are skipped by it), and an optional hook a
         # resilient wrapper sets to turn parse failures into reconnects
@@ -131,6 +133,14 @@ class THINCClient:
 
     # -- connection management -----------------------------------------------
 
+    def _make_parser(self) -> wire.StreamParser:
+        """A fresh downlink parser.  The accepted-id set comes from the
+        protocol spec (THL201): a server-to-server frame — say a
+        SESSION_TRANSFER smuggled down a compromised relay — dies at
+        the frame header, before any payload decode runs."""
+        return wire.StreamParser(max_frame=self.MAX_FRAME,
+                                 allowed=CLIENT_ACCEPTS)
+
     def rebind(self, connection: Connection) -> None:
         """Attach to a freshly dialled connection after a reconnect.
 
@@ -142,7 +152,7 @@ class THINCClient:
         if self.connection is not None:
             self.connection.down.disconnect()
         self.connection = connection
-        self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+        self.parser = self._make_parser()
         if self._decrypt_key is not None:
             self.cipher = RC4(self._decrypt_key)
         connection.down.connect(self._on_data)
@@ -196,7 +206,7 @@ class THINCClient:
             if self.on_protocol_error is None:
                 raise
             self.stats["protocol_errors"] += 1
-            self.parser = wire.StreamParser(max_frame=self.MAX_FRAME)
+            self.parser = self._make_parser()
             self.on_protocol_error(exc)
 
     def _handle(self, msg, len_hint: int = 0) -> None:

@@ -22,6 +22,7 @@ from ..protocol import wire
 from ..protocol.commands import (BitmapCommand, CompositeCommand,
                                  CopyCommand, PFillCommand, RawCommand,
                                  SFillCommand, VideoFrameCommand)
+from ..protocol.spec import CLIENT_ACCEPTS
 from ..video import yuv
 
 __all__ = ["MiniClient"]
@@ -31,7 +32,9 @@ class MiniClient:
     """The simplest possible conforming THINC display client."""
 
     def __init__(self, connection):
-        self.parser = wire.StreamParser()
+        # Even the minimal client enforces the spec's direction
+        # contract (THL201): only server-to-client ids parse.
+        self.parser = wire.StreamParser(allowed=CLIENT_ACCEPTS)
         self.pixels: np.ndarray = np.zeros((1, 1, 4), dtype=np.uint8)
         connection.down.connect(self.receive)
 

@@ -309,8 +309,13 @@ class THINCServer:
             # updated content from the server").
             session.queue_control(wire.ScreenInitMessage(*session.viewport))
             self._submit_refresh(session)
-        elif self.input_handler is not None:
-            self.input_handler(session, msg)
+        elif isinstance(msg, wire.InputMessage):
+            # Explicit INPUT dispatch (THL202): the old fall-through
+            # also handed stray-but-parseable uplink frames (a
+            # heartbeat on a plain session, a mid-stream reconnect
+            # request) to the input handler as if they were input.
+            if self.input_handler is not None:
+                self.input_handler(session, msg)
 
     # -- diagnostics ----------------------------------------------------------------
 

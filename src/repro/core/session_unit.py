@@ -40,16 +40,51 @@ from ..protocol import wire
 from ..protocol.commands import Command
 from ..protocol.limits import LIMITS
 from ..protocol.rc4 import RC4
-from ..protocol.spec import UPLINK_TYPE_IDS
+from ..protocol.spec import SERVER_ACCEPTS
 from ..region import Rect
 from . import pipeline
 from . import sanitizer as _sanitizer
 from .delivery import ClientBuffer
 from .resize import DisplayScaler
 
-__all__ = ["SessionUnit", "FrozenSession", "FLUSH_INTERVAL"]
+__all__ = ["SessionUnit", "FrozenSession", "FLUSH_INTERVAL",
+           "NOT_SERIALIZED"]
 
 FLUSH_INTERVAL = 0.002  # seconds between flush periods while backlogged
+
+#: Mutable :class:`SessionUnit` attributes deliberately *absent* from
+#: the :meth:`SessionUnit.freeze` surface, each with the reason it is
+#: safe to drop across a migration.  THL204 in
+#: :mod:`repro.analysis.contracts` fails the build when an attribute is
+#: assigned on the unit but neither captured by ``freeze()`` nor listed
+#: here — adding session state means deciding, explicitly, whether it
+#: migrates.
+NOT_SERIALIZED = {
+    "server": "host binding; the thaw target supplies its own",
+    "loop": "host binding; every shard shares the simulated clock",
+    "_encrypt_key": "keys never cross the fabric; the reconnect "
+                    "handshake re-keys on the target shard",
+    "frame_stage": "holds the RC4 keystream position, which is "
+                   "worthless after the re-key; rebuilt on thaw",
+    "journal": "a callable installed by the target plane's adopt(), "
+               "not data (the journalled frames themselves migrate)",
+    "detached": "a frozen unit is detached by definition; thaw "
+                "rebuilds the unit detached until the client redials",
+    "quarantined": "governor verdicts are host-local; an abusive "
+                   "session is evicted, never migrated",
+    "meter": "governor budgets are per-host capacity, not session "
+             "state; the target's governor meters from zero",
+    "_successor": "forwarding pointer only meaningful on the frozen "
+                  "husk left behind on the source shard",
+    "_audio": "audio is useless late (the paper sheds it first); a "
+              "migration pause always exceeds its freshness window",
+    "_audio_bytes": "gauge over _audio, which is dropped",
+    "_control_bytes": "gauge over _control, recomputed on thaw",
+    "_flush_scheduled": "transient event-loop bookkeeping; a detached "
+                        "unit never flushes",
+    "_parser": "uplink parse state dies with the severed connection; "
+               "reset_parser() starts the successor clean",
+}
 
 
 class _SessionWriter:
@@ -468,7 +503,7 @@ class SessionUnit:
         self._parser = wire.StreamParser(
             max_frame=LIMITS.max_uplink_frame_bytes,
             max_pending=LIMITS.max_uplink_pending_bytes,
-            allowed=UPLINK_TYPE_IDS)
+            allowed=SERVER_ACCEPTS)
 
     def note_input(self, event: InputEvent) -> None:
         # Input arrives in session coordinates; the real-time region is

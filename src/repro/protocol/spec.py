@@ -25,6 +25,9 @@ __all__ = [
     "UPLINK_TYPE_IDS",
     "DOWNLINK_TYPE_IDS",
     "FABRIC_TYPE_IDS",
+    "SERVER_ACCEPTS",
+    "CLIENT_ACCEPTS",
+    "FABRIC_ACCEPTS",
     "render_protocol_reference",
 ]
 
@@ -241,6 +244,15 @@ DOWNLINK_TYPE_IDS = frozenset(
 FABRIC_TYPE_IDS = frozenset(
     spec.type_id for spec in PROTOCOL_SPEC if spec.direction == "s->s")
 
+#: Parser-role aliases for the direction sets above: what each kind of
+#: `StreamParser` accepts at the frame header.  Every parser
+#: constructor in the tree must name one of these (never a local set
+#: literal), so the spec stays the single source of truth — checked
+#: mechanically by THL201 in :mod:`repro.analysis.contracts`.
+SERVER_ACCEPTS = UPLINK_TYPE_IDS  # the server's uplink parser
+CLIENT_ACCEPTS = DOWNLINK_TYPE_IDS  # any client's downlink parser
+FABRIC_ACCEPTS = FABRIC_TYPE_IDS  # the coordinator's shard fabric
+
 
 def render_protocol_reference() -> str:
     """The protocol reference document, generated from the spec."""
@@ -261,6 +273,13 @@ def render_protocol_reference() -> str:
             f"| {spec.type_id} | `{spec.name}` | {spec.direction} | "
             f"{spec.section} | `{spec.payload}` |")
     lines.append("")
+    lines += [
+        "The conformance matrix in [CONTRACTS.md](CONTRACTS.md) —",
+        "generated by `python -m repro.analysis --contracts` — shows,",
+        "for every id above, which parsers accept it, which dispatch",
+        "sites handle it, and which payload fields are bounds-checked.",
+        "",
+    ]
     for spec in PROTOCOL_SPEC:
         lines.append(f"## {spec.type_id} — {spec.name}")
         lines.append("")
