@@ -76,9 +76,9 @@ ci: lint analyze
 
 # Micro-performance harness: region ops, queue churn, pipeline
 # throughput, and the PR-6 shard-fabric scaling/migration numbers.
-# Writes BENCH_PR6.json at the repo root (see docs/PERF.md).
+# Writes BENCH_PR8.json at the repo root (see docs/PERF.md).
 bench:
-	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR6.json
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR8.json
 
 # CI smoke mode: small workloads, then schema-validate the report.
 bench-smoke:

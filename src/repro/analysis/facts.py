@@ -40,7 +40,8 @@ __all__ = [
     "SpecEntry", "DecodeFact", "MessageClassFact", "ParserSite",
     "MessageRef", "ClockCall", "SessionSurface", "Facts",
     "extract_facts", "collect_clock_calls",
-    "PROTOCOL_ERROR_NAMES", "BUILTIN_GUARDS", "WALL_CLOCK_TIME_APIS",
+    "PROTOCOL_ERROR_NAMES", "GUARD_RAISE_NAMES", "BUILTIN_GUARDS",
+    "WALL_CLOCK_TIME_APIS",
 ]
 
 #: The typed decode-failure family; a helper that raises one of these
@@ -49,6 +50,13 @@ PROTOCOL_ERROR_NAMES = frozenset({
     "ProtocolError", "ChecksumError", "TruncatedPayloadError",
     "FrameTooLargeError", "FieldRangeError",
 })
+
+#: Raises that qualify a compare-then-raise as a decode guard.  The
+#: command layer deliberately raises plain ``ValueError`` (it must not
+#: import the wire module; the frame dispatcher re-raises command
+#: decode failures as ``ProtocolError``), and ``ProtocolError`` itself
+#: subclasses ``ValueError`` — so both families have the same teeth.
+GUARD_RAISE_NAMES = PROTOCOL_ERROR_NAMES | frozenset({"ValueError"})
 
 #: Guard helpers recognised even when the analyzed module does not
 #: define them (fixture trees may call them without a definition).
@@ -220,7 +228,7 @@ def _analyze_decode(fn: ast.FunctionDef,
             if any(isinstance(inner, ast.Raise) and inner.exc is not None
                    and _trailing_name(inner.exc.func
                                       if isinstance(inner.exc, ast.Call)
-                                      else inner.exc) in PROTOCOL_ERROR_NAMES
+                                      else inner.exc) in GUARD_RAISE_NAMES
                    for stmt in node.body for inner in ast.walk(stmt)):
                 guarded |= _names_in(node.test)
         elif isinstance(node, ast.Call):
@@ -265,7 +273,7 @@ def _guard_helper_names(tree: ast.Module) -> FrozenSet[str]:
             if isinstance(inner, ast.Raise) and inner.exc is not None:
                 exc = inner.exc
                 target = exc.func if isinstance(exc, ast.Call) else exc
-                if _trailing_name(target) in PROTOCOL_ERROR_NAMES:
+                if _trailing_name(target) in GUARD_RAISE_NAMES:
                     names.add(node.name)
                     break
             if isinstance(inner, ast.Call) and \
@@ -347,8 +355,11 @@ class _ModuleFacts(ast.NodeVisitor):
             return
         decode = None
         for stmt in node.body:
+            # Wire messages decode via ``decode_payload``; protocol
+            # commands via a ``decode`` classmethod.  Both are subject
+            # to the same bounded-decode contract.
             if isinstance(stmt, ast.FunctionDef) \
-                    and stmt.name == "decode_payload":
+                    and stmt.name in ("decode_payload", "decode"):
                 decode = _analyze_decode(stmt, self.guard_names,
                                          self.local_fns)
         self.messages.append(MessageClassFact(

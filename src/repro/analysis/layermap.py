@@ -18,6 +18,9 @@ The resulting DAG, low to high::
 
     region                                  (pure geometry; imports nothing)
     net | video | audio                     (foundation models)
+    codec                                   (batched pixel codecs + encoder
+                                             policy; below protocol so command
+                                             objects may call its kernels)
     protocol | display                      (wire commands | raster + drivers)
     core                                    (translation, queues, delivery)
     baselines | workloads                   (comparison systems | app models)
@@ -52,6 +55,7 @@ LAYER_RANKS: Dict[str, int] = {
     "net": 10,
     "video": 10,
     "audio": 10,
+    "codec": 15,
     "protocol": 20,
     "display": 20,
     "core": 30,

@@ -1,8 +1,9 @@
 """Persistent micro-performance harness (``make bench``).
 
-Times the three layers the PR-3 geometry/queue engine rebuilt and
-writes a machine-readable report (``BENCH_PR3.json`` at the repo root)
-that seeds the benchmark trajectory future PRs are gated on:
+Times the layers the PR-3 geometry/queue engine rebuilt and later PRs
+extended, and writes a machine-readable report (``BENCH_PR8.json`` at
+the repo root) continuing the benchmark trajectory future PRs are
+gated on:
 
 * **region ops** — the banded :class:`repro.region.Region` against the
   pre-banded :class:`repro.region.NaiveRegion` reference on identical
@@ -12,6 +13,12 @@ that seeds the benchmark trajectory future PRs are gated on:
   against ``_LegacyQueue`` (a faithful replica of the pre-index
   whole-queue-sweep hot path) on add-time eviction and the Section 4.1
   queue-to-queue copy;
+* **codec plane** — the PR-8 vectorised kernels against faithful
+  replicas of the pre-PR8 per-pixel/per-run Python loops, the adaptive
+  batched RAW encode path against per-command always-PNG, and the
+  Fig-2 web workload's wire bytes with the content-adaptive encoder
+  on vs off on a PDA-class link (including the lossless refresh
+  convergence check);
 * **pipeline throughput** — wall-clock end-to-end runs of the Fig-2
   web and Fig-5 A/V workloads on the THINC platform, recorded as
   trajectory numbers (no baseline pair — these move PR over PR);
@@ -445,6 +452,249 @@ def _bench_fabric(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+# -- codec workloads -------------------------------------------------------
+
+_PAETH_DIMS = ((96, 128), (32, 48))    # (h, w): full, quick
+_CODEC_TILE = 128                      # batch-encode tile edge
+_CODEC_ENCODE_PAGES = (4, 1)           # pages tiled for the encode bench
+_CODEC_WEB_PAGES = (6, 2)
+#: The wire benchmark's link: the 802.11g PDA path squeezed to the
+#: effective rate of a loaded/far-from-AP wireless segment — slow
+#: enough that a Fig-2 page outlives the inter-click gap, so the
+#: posture probe sees a genuinely saturated downlink.
+_CODEC_WIRE_BPS = 256e3
+
+
+def _legacy_paeth_unfilter(filtered: np.ndarray, height: int, width: int,
+                           channels: int) -> np.ndarray:
+    """The pre-PR8 per-pixel interpreted unfilter loop, kept verbatim as
+    the baseline the wavefront kernel is measured against."""
+    flat = filtered.reshape(height, width * channels)
+    out = np.zeros_like(flat)
+    c = channels
+    for y in range(height):
+        for xi in range(flat.shape[1]):
+            a = int(out[y, xi - c]) if xi >= c else 0
+            b = int(out[y - 1, xi]) if y >= 1 else 0
+            cc = int(out[y - 1, xi - c]) if (y >= 1 and xi >= c) else 0
+            p = a + b - cc
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - cc)
+            if pa <= pb and pa <= pc:
+                pred = a
+            elif pb <= pc:
+                pred = b
+            else:
+                pred = cc
+            out[y, xi] = (int(flat[y, xi]) + pred) & 0xFF
+    return out.reshape(height, width, channels)
+
+
+def _legacy_rle_encode(pixels: np.ndarray) -> bytes:
+    """The pre-PR8 per-run Python RLE loop (body only, no dimensions)."""
+    flat = np.ascontiguousarray(pixels, dtype=np.uint8).reshape(-1, 4)
+    view = flat.view(np.uint32).ravel()
+    out = bytearray()
+    if len(view):
+        changes = np.flatnonzero(np.diff(view)) + 1
+        starts = np.concatenate(([0], changes))
+        ends = np.concatenate((changes, [len(view)]))
+        for s, e in zip(starts, ends):
+            run = e - s
+            while run > 0:
+                chunk = min(run, 0xFFFF)
+                out += int(chunk).to_bytes(2, "big")
+                out += flat[s].tobytes()
+                run -= chunk
+    return bytes(out)
+
+
+def _page_tiles(pages_n: int, tile: int) -> List[np.ndarray]:
+    """The Fig-2 page set rendered and cut into square tiles — the real
+    content mix (solid background, flat chrome, text, images) the
+    prepare plane sees on a full-screen drain."""
+    from ..display import WindowServer
+    from ..workloads.web import WebBrowserApp, make_page_set
+
+    server = WindowServer(_SCREEN_W, _SCREEN_H)
+    pages = make_page_set(count=pages_n, width=_SCREEN_W,
+                          height=_SCREEN_H, seed=_SEED)
+    app = WebBrowserApp(server, pages)
+    tiles: List[np.ndarray] = []
+    for index in range(pages_n):
+        app.render_page(index)
+        screen = server.screen.fb.data
+        for y in range(0, _SCREEN_H - tile + 1, tile):
+            for x in range(0, _SCREEN_W - tile + 1, tile):
+                tiles.append(np.ascontiguousarray(
+                    screen[y:y + tile, x:x + tile]))
+    return tiles
+
+
+def _busiest_text_tile(tiles: List[np.ndarray]) -> np.ndarray:
+    """The tile with the most RLE runs that is still run-structured
+    (at most one run per two pixels) — the content where the per-run
+    legacy loop hurts most without degenerating into noise."""
+    best, best_runs = tiles[0], -1
+    for tile in tiles:
+        view = tile.reshape(-1, 4).view(np.uint32).ravel()
+        runs = int(np.count_nonzero(view[1:] != view[:-1])) + 1
+        if best_runs < runs <= len(view) // 2:
+            best, best_runs = tile, runs
+    return best
+
+
+def _adaptive_batch_encode(blocks: List[np.ndarray], posture) -> int:
+    """One drain through the adaptive batched encode path under
+    *posture*; returns the total encoded output bytes (the payload work
+    mirrors PreparePlane.submit_batch: classify + select per block,
+    fused batch filter for the PNG group, SFILL demotion for solid
+    blocks)."""
+    from ..codec import Encoding, EncoderPolicy
+    from ..protocol import compression
+
+    policy = EncoderPolicy()
+    choices = [policy.select(b, posture) for b in blocks]
+    total = 0
+    png_blocks = [b for b, ch in zip(blocks, choices)
+                  if ch.solid_color is None and ch.encoding is Encoding.PNG]
+    if png_blocks:
+        total += sum(len(p) for p in
+                     compression.png_compress_batch(png_blocks))
+    for block, choice in zip(blocks, choices):
+        if choice.solid_color is not None:
+            total += 4  # an SFILL colour replaces the payload outright
+        elif choice.encoding is Encoding.NONE:
+            total += len(block.tobytes())
+        elif choice.encoding is Encoding.RLE:
+            total += len(compression.rle_compress(block))
+        elif choice.encoding is Encoding.LOSSY:
+            total += len(compression.lossy_compress(block))
+    return total
+
+
+def _web_wire_run(quick: bool, adaptive: bool):
+    """One Fig-2-style web run on a congested PDA-class link; returns
+    (server->client bytes, pixel-identical after a final full refresh).
+
+    Page loads outlive the inter-click gap on the constrained link, so
+    the adaptive server's posture probe flips to degraded (lossy)
+    exactly while it matters; the final refresh happens on an idle
+    link, in lossless posture, and must converge the client byte-exact
+    — the convergence half of the adaptive contract.
+    """
+    from dataclasses import replace
+
+    from ..net import PDA_80211G, EventLoop, PacketMonitor
+    from ..workloads.web import WebBrowserApp, make_page_set
+    from .platforms import make_platform
+
+    pages_n = _CODEC_WEB_PAGES[quick]
+    link = replace(PDA_80211G, bandwidth_bps=_CODEC_WIRE_BPS,
+                   name=f"{PDA_80211G.name} (congested)")
+    loop = EventLoop()
+    monitor = PacketMonitor()
+    platform = make_platform("THINC", loop, link, monitor=monitor,
+                             width=_SCREEN_W, height=_SCREEN_H,
+                             headless=False, adaptive_encoding=adaptive)
+    pages = make_page_set(count=pages_n, width=_SCREEN_W, height=_SCREEN_H,
+                          seed=_SEED)
+    browser = WebBrowserApp(platform.window_server, pages)
+    state = {"next_page": 0}
+
+    def on_input(x: int, y: int) -> None:
+        index = state["next_page"]
+        if index >= len(pages):
+            return
+        state["next_page"] = index + 1
+        delay = browser.processing_delay(pages[index])
+        loop.schedule(delay, lambda: browser.render_page(index))
+
+    platform.set_input_handler(on_input)
+    # Clicks land on a fixed cadence — a user skimming pages does not
+    # wait for the slow link to finish painting, so page drains overlap
+    # the next request and the posture probe sees the congestion.
+    start = loop.now
+    for index in range(pages_n):
+        click = start + 0.75 * (index + 1)
+        link_x, link_y = browser.link_position(max(index - 1, 0))
+        loop.schedule_at(click, lambda x=link_x, y=link_y:
+                         platform.send_client_input(x, y))
+    loop.run_until_idle(max_time=start + 30.0 * pages_n)
+    # Let the posture window cool on the drained link before asking for
+    # the refresh: convergence is defined on an *idle* link, where the
+    # adaptive ladder sits at its lossless floor.
+    loop.schedule(1.0, lambda: None)
+    loop.run_until_idle(max_time=loop.now + 60.0)
+    # Refresh convergence: a full-screen refresh requested on the now
+    # idle link (lossless posture) must leave the client byte-exact.
+    platform.client.request_refresh(Rect(0, 0, _SCREEN_W, _SCREEN_H))
+    loop.run_until_idle(max_time=loop.now + 60.0)
+    identical = platform.client.fb is not None and \
+        platform.client.fb.same_as(platform.window_server.screen.fb)
+    # The refresh bytes count: lossy savings only matter if the later
+    # lossless convergence does not hand them all back.
+    return monitor.total_bytes("server->client"), identical
+
+
+def _bench_codec(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    from ..codec import kernels
+
+    h, w = _PAETH_DIMS[quick]
+    rng = np.random.default_rng(_SEED + 4)
+    img = rng.integers(0, 256, (h, w, 4), dtype=np.uint8)
+    filtered = kernels.paeth_filter(img)
+    out: Dict[str, Dict[str, float]] = {}
+    out["paeth_unfilter"] = _pair(
+        _best_of(lambda: kernels.paeth_unfilter(filtered, h, w, 4),
+                 repeats),
+        _best_of(lambda: _legacy_paeth_unfilter(filtered, h, w, 4),
+                 max(1, repeats - 3)))
+
+    tiles = _page_tiles(_CODEC_ENCODE_PAGES[quick], _CODEC_TILE)
+    text_tile = _busiest_text_tile(tiles)
+    out["rle_encode"] = _pair(
+        _best_of(lambda: kernels.rle_encode(text_tile), repeats),
+        _best_of(lambda: _legacy_rle_encode(text_tile),
+                 max(1, repeats - 3)))
+
+    # The batched RAW path on a full-screen drain of the Fig-2 pages,
+    # in the idle-LAN (plentiful) posture a desktop thin client sits in
+    # most of the time, against the pre-PR prepare kernel: PNG-model
+    # DEFLATE for every block, one call per command.
+    from ..codec import LinkPosture
+    from ..protocol import compression
+    bytes_in = float(sum(t.nbytes for t in tiles))
+    new_s = _best_of(
+        lambda: _adaptive_batch_encode(tiles, LinkPosture.PLENTIFUL),
+        repeats)
+    lossless_s = _best_of(
+        lambda: _adaptive_batch_encode(tiles, LinkPosture.LOSSLESS),
+        repeats)
+    base_s = _best_of(
+        lambda: sum(len(compression.png_compress(t)) for t in tiles),
+        repeats)
+    out["batch_raw_encode"] = {
+        "blocks": float(len(tiles)),
+        "bytes_in": bytes_in,
+        "new_bytes_per_s": bytes_in / new_s,
+        "lossless_bytes_per_s": bytes_in / lossless_s,
+        "baseline_bytes_per_s": bytes_in / base_s,
+        "speedup": base_s / new_s if new_s > 0 else float("inf"),
+    }
+
+    adaptive_bytes, adaptive_ok = _web_wire_run(quick, adaptive=True)
+    png_bytes, png_ok = _web_wire_run(quick, adaptive=False)
+    out["adaptive_wire"] = {
+        "pages": float(_CODEC_WEB_PAGES[quick]),
+        "adaptive_bytes": float(adaptive_bytes),
+        "png_bytes": float(png_bytes),
+        "reduction": png_bytes / adaptive_bytes if adaptive_bytes else
+        float("inf"),
+        "fidelity_identical_after_refresh": float(adaptive_ok and png_ok),
+    }
+    return out
+
+
 # -- report ----------------------------------------------------------------
 
 def run_suite(quick: bool = False) -> Dict:
@@ -453,7 +703,7 @@ def run_suite(quick: bool = False) -> Dict:
     report = {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
-        "pr": "PR6",
+        "pr": "PR8",
         "quick": quick,
         "python": sys.version.split()[0],
         "params": {
@@ -468,6 +718,7 @@ def run_suite(quick: bool = False) -> Dict:
         "results": {
             "region": _bench_region(quick, repeats),
             "queue": _bench_queue(quick, repeats),
+            "codec": _bench_codec(quick, repeats),
             "pipeline": _bench_pipeline(quick),
             "fabric": _bench_fabric(quick),
         },
@@ -479,6 +730,14 @@ _PAIRED = {
     "region": ("union_build", "union_pair", "subtract_pair",
                "intersect_pair", "overlaps_pair"),
     "queue": ("evict_churn", "commands_for_copy"),
+    "codec": ("paeth_unfilter", "rle_encode"),
+}
+_CODEC_KEYS = {
+    "batch_raw_encode": ("blocks", "bytes_in", "new_bytes_per_s",
+                         "lossless_bytes_per_s", "baseline_bytes_per_s",
+                         "speedup"),
+    "adaptive_wire": ("pages", "adaptive_bytes", "png_bytes", "reduction",
+                      "fidelity_identical_after_refresh"),
 }
 _PIPELINE_KEYS = {
     "fig2_web": ("wall_s", "pages", "mean_latency_s"),
@@ -529,6 +788,18 @@ def validate_report(report) -> List[str]:
                 if value is not None and value <= 0:
                     problems.append(
                         f"results.{group}.{name}.{field}: must be positive")
+    codec = _need(results, "codec", dict, "results")
+    if codec is not None:
+        for name, fields in _CODEC_KEYS.items():
+            entry = _need(codec, name, dict, "results.codec")
+            if entry is None:
+                continue
+            for field in fields:
+                value = _need(entry, field, (int, float),
+                              f"results.codec.{name}")
+                if value is not None and value <= 0:
+                    problems.append(
+                        f"results.codec.{name}.{field}: must be positive")
     pipeline = _need(results, "pipeline", dict, "results")
     if pipeline is not None:
         for name, fields in _PIPELINE_KEYS.items():
@@ -561,6 +832,28 @@ def _summarize(report: Dict) -> str:
             lines.append(f"{group}.{name:<20} banded {entry['banded_s']:.5f}s"
                          f"  baseline {entry['baseline_s']:.5f}s"
                          f"  speedup {entry['speedup']:.1f}x")
+    codec = results["codec"]
+    for name in _PAIRED["codec"]:
+        entry = codec[name]
+        lines.append(f"codec.{name:<20} vector {entry['banded_s']:.5f}s"
+                     f"  loop {entry['baseline_s']:.5f}s"
+                     f"  speedup {entry['speedup']:.1f}x")
+    batch = codec["batch_raw_encode"]
+    lines.append(
+        f"codec.batch_raw_encode adaptive(lan) "
+        f"{batch['new_bytes_per_s'] / 1e6:.1f} MB/s"
+        f"  adaptive(lossless) "
+        f"{batch['lossless_bytes_per_s'] / 1e6:.1f} MB/s"
+        f"  always-PNG {batch['baseline_bytes_per_s'] / 1e6:.1f} MB/s"
+        f"  speedup {batch['speedup']:.1f}x")
+    wire_ = codec["adaptive_wire"]
+    lines.append(
+        f"codec.adaptive_wire   adaptive "
+        f"{wire_['adaptive_bytes'] / 1e6:.2f} MB"
+        f"  always-PNG {wire_['png_bytes'] / 1e6:.2f} MB"
+        f"  reduction {wire_['reduction']:.2f}x"
+        f"  refresh-identical="
+        f"{bool(wire_['fidelity_identical_after_refresh'])}")
     for name, entry in results["pipeline"].items():
         detail = ", ".join(f"{k}={v:.4g}" for k, v in entry.items()
                            if k != "wall_s")
@@ -584,7 +877,7 @@ def main(argv=None) -> int:
         description="THINC micro-performance harness (see docs/PERF.md)")
     parser.add_argument("--quick", action="store_true",
                         help="small workloads for the CI smoke job")
-    parser.add_argument("--out", default="BENCH_PR6.json",
+    parser.add_argument("--out", default="BENCH_PR8.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--validate", metavar="PATH",
                         help="schema-check an existing report and exit")

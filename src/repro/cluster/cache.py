@@ -15,6 +15,11 @@ Validity rests on two facts: the wire encoding fully determines a
 command's pixels and geometry (it is, literally, what the client will
 see), and the scale key fully determines the prepare transform, so
 equal (content, scale) pairs produce byte-identical prepared entries.
+The RAW payload encoding tag additionally joins the key outright —
+the tag is already inside the CRC'd wire bytes, but keeping it
+explicit guarantees that an entry prepared under one adaptive
+encoding can never satisfy a lookup for another, CRC collisions or
+future wire-format drift notwithstanding.
 Entries carry their original ``ready_at`` stamps; all shards share one
 simulation clock, so those stamps stay meaningful across planes, and
 consumers re-clamp against their own sessions' pipe tails anyway.
@@ -43,6 +48,12 @@ def _content_id(command) -> int:
     return cid
 
 
+def _key(command, scale_key) -> Tuple:
+    """Fabric cache key: (content CRC, RAW encoding tag, scale key)."""
+    enc = getattr(command, "encoding", None)
+    return (_content_id(command), -1 if enc is None else int(enc), scale_key)
+
+
 class SharedPrepareCache:
     """LRU cache of prepared-command entries, shared by shard planes.
 
@@ -64,7 +75,7 @@ class SharedPrepareCache:
         return len(self._entries)
 
     def get(self, command, scale_key) -> Optional[object]:
-        key = (_content_id(command), scale_key)
+        key = _key(command, scale_key)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -74,7 +85,7 @@ class SharedPrepareCache:
         return entry
 
     def put(self, command, scale_key, entry) -> None:
-        self._entries[(_content_id(command), scale_key)] = entry
+        self._entries[_key(command, scale_key)] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1

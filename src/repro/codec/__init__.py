@@ -1,0 +1,25 @@
+"""The codec plane: batched pixel kernels + adaptive encoder policy.
+
+Rank 15 in the layer map — above the foundation models (``video``
+supplies the YV12 conversion the lossy path reuses) and *below* the
+protocol layer, so command objects delegate their filter/RLE/lossy work
+downward and the codec plane never learns about wire framing.  Decode
+bounds are therefore parameters here; the protocol wrappers bind them
+to :data:`repro.protocol.limits.LIMITS`.
+"""
+
+from .classify import ContentStats, classify
+from .encodings import Encoding, lossy_decode, lossy_encode, psnr
+from .policy import EncoderPolicy, EncodingChoice, LinkPosture
+
+__all__ = [
+    "ContentStats",
+    "classify",
+    "Encoding",
+    "lossy_encode",
+    "lossy_decode",
+    "psnr",
+    "EncoderPolicy",
+    "EncodingChoice",
+    "LinkPosture",
+]

@@ -44,8 +44,10 @@ import itertools
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Tuple
 
-from ..protocol import wire
-from ..protocol.commands import Command, CompositeCommand, RawCommand
+from ..codec import Encoding
+from ..protocol import compression, wire
+from ..protocol.commands import (Command, CompositeCommand, RawCommand,
+                                 SFillCommand)
 
 __all__ = ["STAGE_NAMES", "StageStats", "PreparedCommand", "PreparePlane",
            "TranslateStage", "FrameStage"]
@@ -114,18 +116,22 @@ class PreparedCommand:
 class PreparePlane:
     """Stages 2–3 — shared Scale and Prepare/Compress planes.
 
-    The cache key is ``(command identity, viewport scale key)``:
-    command identity is a monotonically increasing id stamped on each
-    translated command the first time it enters the plane, and the
-    scale key is :attr:`repro.core.resize.DisplayScaler.key` (view rect
-    + client size — everything that determines the scaled output).
+    The cache key is ``(command identity, encoding, viewport scale
+    key)``: command identity is a monotonically increasing id stamped
+    on each translated command the first time it enters the plane, the
+    encoding is the RAW payload encoding the adaptive policy chose (-1
+    for non-RAW commands), and the scale key is :attr:`repro.core.
+    resize.DisplayScaler.key` (view rect + client size — everything
+    that determines the scaled output).
     """
 
     def __init__(self, loop, cost_model, cache_entries: int = 128):
         self.loop = loop
         self.cost_model = cost_model
         self.cache_entries = cache_entries
-        # (prep_id, scale_key) -> List[PreparedCommand], LRU-ordered.
+        # (prep_id, encoding, scale_key) -> List[PreparedCommand],
+        # LRU-ordered.  The encoding joins the key so an entry prepared
+        # under one encoding can never satisfy a lookup for another.
         self._cache: "OrderedDict[Tuple, List[PreparedCommand]]" = \
             OrderedDict()
         self._prep_ids = itertools.count()
@@ -139,8 +145,37 @@ class PreparePlane:
         # it.  Entries are keyed by command *content*, not prep id —
         # prep ids are plane-local.
         self.shared_cache = None
+        # Optional adaptive encoder: a repro.codec.EncoderPolicy plus a
+        # zero-arg posture callable returning a LinkPosture (or a bool
+        # meaning degraded-or-not).  When set, every *fresh* RAW
+        # command is classified and re-encoded (or demoted to SFILL)
+        # before it is stamped with a prep id, so the chosen encoding
+        # is part of the command's cached identity.
+        self.policy = None
+        self.posture = None
         self.scale_stats = StageStats()
         self.stats = StageStats()  # the Prepare/Compress stage
+
+    # -- adaptive encoding ---------------------------------------------------
+
+    def _admit_encoding(self, command: Command) -> Command:
+        if (self.policy is None or not isinstance(command, RawCommand)
+                or getattr(command, "_prep_id", None) is not None):
+            return command
+        posture = self.posture() if self.posture is not None else False
+        choice = self.policy.select(command.pixels, posture)
+        if choice.solid_color is not None:
+            fill = SFillCommand(command.dest, choice.solid_color)
+            fill.seq = command.seq
+            fill.realtime = command.realtime
+            fill.sched_floor = command.sched_floor
+            return fill
+        return command.with_encoding(choice.encoding)
+
+    @staticmethod
+    def _encoding_of(command: Command) -> int:
+        enc = getattr(command, "encoding", None)
+        return -1 if enc is None else int(enc)
 
     # -- the shared path -----------------------------------------------------
 
@@ -148,11 +183,12 @@ class PreparePlane:
         """Prepare *command* once per distinct viewport among *sessions*
         and fan the prepared clones out to each session's buffer stage.
         """
+        command = self._admit_encoding(command)
         pid = getattr(command, "_prep_id", None)
         if pid is None:
             pid = command._prep_id = next(self._prep_ids)
         for session in sessions:
-            key = (pid,) + session.scaler.key
+            key = (pid, self._encoding_of(command)) + session.scaler.key
             entry = self._cache.get(key)
             if entry is None:
                 shared = self.shared_cache
@@ -180,6 +216,37 @@ class PreparePlane:
                 # payload, but queue-mutable state stays private.
                 session.enqueue_prepared(prepared.command.translated(0, 0),
                                          prepared.ready_at)
+
+    def submit_batch(self, commands: Iterable[Command],
+                     sessions: Iterable) -> None:
+        """Admit one pipeline drain of commands at once.
+
+        Same semantics as calling :meth:`submit` per command — the
+        fan-out, cache keys and ordering are identical — but fresh RAW
+        blocks of the same shape headed for PNG encoding are filtered
+        in one fused numpy pass (:func:`repro.protocol.compression.
+        png_compress_batch`) and their payloads pre-materialised, so
+        the per-command prepare step finds the bytes already cached.
+        Byte-for-byte identical to the per-command path.
+        """
+        sessions = list(sessions)
+        admitted = [self._admit_encoding(c) for c in commands]
+        groups: Dict[Tuple, List[RawCommand]] = {}
+        for cmd in admitted:
+            if (isinstance(cmd, RawCommand)
+                    and cmd.encoding is Encoding.PNG
+                    and cmd._payload is None
+                    and getattr(cmd, "_prep_id", None) is None):
+                groups.setdefault(cmd.pixels.shape, []).append(cmd)
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            payloads = compression.png_compress_batch(
+                [m.pixels for m in members])
+            for member, payload in zip(members, payloads):
+                member._payload = payload
+        for cmd in admitted:
+            self.submit(cmd, sessions)
 
     def _prepare(self, command: Command,
                  scaler) -> Tuple[List[PreparedCommand], float]:

@@ -165,7 +165,7 @@ class DisplayScaler:
             return [SFillCommand(dest, cmd.color)]
         if isinstance(cmd, RawCommand):
             pixels = resample(cmd.pixels, dest.width, dest.height)
-            return [RawCommand(dest, pixels, cmd.compress)]
+            return [RawCommand(dest, pixels, cmd.encoding)]
         if isinstance(cmd, PFillCommand):
             tw = max(1, round(cmd.tile.shape[1] * self.sx))
             th = max(1, round(cmd.tile.shape[0] * self.sy))

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..codec import Encoding, EncoderPolicy, LinkPosture
 from ..display.driver import InputEvent, VideoStreamInfo
 from ..net.clock import EventLoop
 from ..net.transport import Connection
@@ -61,13 +62,22 @@ class ServerCostModel:
     """
 
     png_bytes_per_second = 16e6  # PNG-model filter + DEFLATE
+    rle_bytes_per_second = 120e6  # run-length pass, no entropy coder
+    lossy_bytes_per_second = 28e6  # subsample + quantise + light DEFLATE
     copy_bytes_per_second = 400e6  # packetising video/audio payloads
     per_command = 2e-6  # translation bookkeeping
+
+    def _raw_rate(self, encoding: int) -> float:
+        if encoding == Encoding.RLE:
+            return self.rle_bytes_per_second
+        if encoding == Encoding.LOSSY:
+            return self.lossy_bytes_per_second
+        return self.png_bytes_per_second
 
     def cost(self, command) -> float:
         cpu = self.per_command
         if isinstance(command, RawCommand) and command.compress:
-            cpu += command.pixels.nbytes / self.png_bytes_per_second
+            cpu += command.pixels.nbytes / self._raw_rate(command.encoding)
         elif isinstance(command, CompositeCommand):
             cpu += command.pixels.nbytes / self.png_bytes_per_second
         elif isinstance(command, VideoFrameCommand):
@@ -77,6 +87,12 @@ class ServerCostModel:
 
 class THINCServer:
     """The THINC server core, acting as the translation layer's sink."""
+
+    #: Seconds a memoised posture verdict stays fresh, and the trailing
+    #: window over which downlink throughput is measured against link
+    #: capacity.  Both are simulated-clock quantities.
+    posture_interval = 0.05
+    posture_window = 0.25
 
     def __init__(self, loop: EventLoop, width: int, height: int,
                  compress_raw: bool = True,
@@ -88,7 +104,9 @@ class THINCServer:
                  prepare_cache_entries: int = 128,
                  resilience=None,
                  budget: Optional[Budget] = None,
-                 server_budget: Optional[ServerBudget] = None):
+                 server_budget: Optional[ServerBudget] = None,
+                 adaptive_encoding: bool = False,
+                 encoder_policy: Optional[EncoderPolicy] = None):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -117,6 +135,19 @@ class THINCServer:
         # Resource governance: per-session budgets enforced at the
         # queue/uplink chokepoints plus server-wide admission control.
         self.governor = Governor(self, budget, server_budget)
+        # Content-adaptive, link-aware RAW encoding: hand the prepare
+        # plane a codec policy plus this server's posture probe.  Off
+        # by default — the paper's fixed PNG path stays the baseline.
+        self.encoder_policy = None
+        if adaptive_encoding or encoder_policy is not None:
+            self.encoder_policy = encoder_policy or EncoderPolicy()
+            self.plane.policy = self.encoder_policy
+            self.plane.posture = self._encoder_posture
+        # Memoised posture probe (recomputed at most once per simulated
+        # interval): scanning the packet trace per submitted command
+        # would turn the monitor into the hot path.
+        self._posture_at = -1.0
+        self._posture_value = LinkPosture.LOSSLESS
 
     # -- session management -----------------------------------------------------
 
@@ -212,10 +243,67 @@ class THINCServer:
                                       compress=self.driver.compress_raw))
             return
         bottom = rect.y + rect.height
+        bands = []
         for y in range(rect.y, bottom, chunk_rows):
             band = Rect(rect.x, y, rect.width, min(chunk_rows, bottom - y))
-            session.submit(RawCommand(band, screen.fb.read_pixels(band),
-                                      compress=self.driver.compress_raw))
+            bands.append(RawCommand(band, screen.fb.read_pixels(band),
+                                    compress=self.driver.compress_raw))
+        # One drain: equal-height bands share a fused filter pass on
+        # the prepare plane's batch path.
+        session.submit_batch(bands)
+
+    def _encoder_posture(self) -> LinkPosture:
+        """Posture of the worst attached downlink, for the adaptive
+        encoder.
+
+        DEGRADED when the governor already degraded a session, when a
+        session's send backlog exceeds the policy's drain horizon, or
+        when the packet monitor's measured downlink throughput over the
+        recent window sits within the policy's saturation fraction of
+        the link's capacity.  PLENTIFUL only when *every* attached link
+        is LAN-class and nearly idle.  Memoised per simulated interval
+        — the probe runs once per prepared command otherwise.
+        """
+        now = self.loop.now
+        if self._posture_at >= 0.0 \
+                and now - self._posture_at < self.posture_interval:
+            return self._posture_value
+        self._posture_at = now
+        posture = LinkPosture.LOSSLESS
+        linked = 0
+        plentiful = 0
+        for session in self.sessions:
+            if session.degraded or session.shed_display:
+                posture = LinkPosture.DEGRADED
+                break
+            if session.connection is None:
+                continue
+            linked += 1
+            down = session.connection.down
+            monitor = getattr(down, "monitor", None)
+            measured = None
+            if monitor is not None:
+                measured = (monitor.total_bytes(
+                    "server->client", start=now - self.posture_window)
+                    * 8.0 / self.posture_window)
+            # Backlog = commands still queued in the session buffer plus
+            # bytes already flushed into the transport's bounded send
+            # buffer but not yet delivered — both sit in front of the
+            # link.
+            backlog = (session.buffer.pending_bytes()
+                       + getattr(down, "queued_bytes", 0))
+            link_posture = self.encoder_policy.posture_for(
+                measured, down.link.throughput * 8.0, backlog)
+            if link_posture is LinkPosture.DEGRADED:
+                posture = LinkPosture.DEGRADED
+                break
+            if link_posture is LinkPosture.PLENTIFUL:
+                plentiful += 1
+        if posture is not LinkPosture.DEGRADED and linked \
+                and plentiful == linked:
+            posture = LinkPosture.PLENTIFUL
+        self._posture_value = posture
+        return posture
 
     # -- UpdateSink interface (called by THINCDriver) ------------------------------
 

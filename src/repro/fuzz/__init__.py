@@ -24,12 +24,14 @@ wall clock), so every finding replays exactly — run it via ``make
 fuzz`` or ``python -m repro.fuzz``.
 """
 
-from .corpus import load_crash_corpus, save_crash, seed_corpus
+from .corpus import (display_seed_corpus, load_crash_corpus, save_crash,
+                     seed_corpus)
 from .harness import FuzzConfig, FuzzReport, replay_corpus, run_fuzz
 from .mutator import CoveragePool, Mutator, outcome_signature
 
 __all__ = [
     "seed_corpus",
+    "display_seed_corpus",
     "load_crash_corpus",
     "save_crash",
     "Mutator",

@@ -13,10 +13,15 @@ from __future__ import annotations
 import os
 from typing import List
 
+import numpy as np
+
+from ..codec import Encoding
 from ..protocol import wire
+from ..protocol.commands import RawCommand
 from ..region import Rect
 
-__all__ = ["seed_corpus", "load_crash_corpus", "save_crash"]
+__all__ = ["seed_corpus", "display_seed_corpus", "load_crash_corpus",
+           "save_crash"]
 
 
 def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
@@ -51,6 +56,35 @@ def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
     corpus.append(b"".join(corpus[:4]))
     corpus.append(wire.wrap_checked(
         wire.encode_message(wire.HeartbeatMessage(1, 0.5)), 9))
+    return corpus
+
+
+def display_seed_corpus(width: int = 16, height: int = 12) -> List[bytes]:
+    """Valid-ish *display* command bytes to mutate against the decoder.
+
+    One RAW command per payload encoding tag (the adaptive ladder's
+    whole enum), plus the malformed shapes the bounded decoder must
+    reject rather than crash on: an out-of-range encoding tag, a lossy
+    payload truncated mid-stream, and a lossy payload whose declared
+    length exceeds the bytes present.  A decoder consuming these must
+    either return a command or raise ``ValueError`` — nothing else.
+    """
+    rng = np.random.default_rng(9)
+    pixels = rng.integers(0, 256, (height, width, 4), dtype=np.uint8)
+    rect = Rect(2, 3, width, height)
+    corpus = [RawCommand(rect, pixels, enc).encode()
+              for enc in (Encoding.NONE, Encoding.PNG,
+                          Encoding.RLE, Encoding.LOSSY)]
+    # Encoding tag past WireLimits.max_raw_encoding (header is type u8
+    # + rect 4xu16; the tag is the next byte).
+    bad_tag = bytearray(corpus[0])
+    bad_tag[9] = 0xEE
+    corpus.append(bytes(bad_tag))
+    # Lossy payload chopped mid-stream with the length field intact.
+    lossy = corpus[3]
+    corpus.append(lossy[: len(lossy) - max(1, len(lossy) // 3)])
+    # Lossy meta header alone, declaring planes that never arrive.
+    corpus.append(lossy[:19])
     return corpus
 
 

@@ -20,7 +20,9 @@ Overwrite semantics (Section 4) drive the command queue:
   and alpha COMPOSITE blocks).
 
 Every command knows its exact wire size; RAW is the only command whose
-payload is compressed (PNG-model, Section 7), and the compressed bytes
+payload is compressed (Section 7).  Its wire tag is a bounded
+:class:`~repro.codec.Encoding` enum — PNG-model lossless (the paper's
+choice), RLE, JPEG-style lossy, or uncompressed — and the encoded bytes
 are computed lazily and cached.
 """
 
@@ -32,8 +34,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..codec import Encoding
 from ..region import Rect, Region
 from . import compression
+from .limits import LIMITS
 
 __all__ = [
     "OverwriteClass",
@@ -54,7 +58,7 @@ Color = Tuple[int, int, int, int]
 _RECT = struct.Struct(">HHHH")
 _HEADER = struct.Struct(">BHHHH")  # type + rect
 # Per-command payload metadata, precompiled once at import.
-_RAW_META = struct.Struct(">BI")       # compressed flag + payload length
+_RAW_META = struct.Struct(">BI")       # encoding tag + payload length
 _COPY_SRC = struct.Struct(">HH")       # src_x, src_y
 _PFILL_META = struct.Struct(">BBBB")   # tile h/w + relative origin
 _BOOL = struct.Struct(">B")
@@ -184,14 +188,17 @@ class RawCommand(Command):
     """RAW — display raw pixel data at a given location (Table 1).
 
     The last-resort command, and the only one whose payload may be
-    compressed to mitigate its impact on the network.
+    compressed to mitigate its impact on the network.  The wire tag
+    names one of the bounded :class:`~repro.codec.Encoding` values;
+    ``compress`` accepts the historical boolean (False -> NONE,
+    True -> PNG) as well as an explicit encoding.
     """
 
     kind = "raw"
     type_id = 1
     overwrite_class = OverwriteClass.PARTIAL
 
-    def __init__(self, dest: Rect, pixels: np.ndarray, compress: bool = True):
+    def __init__(self, dest: Rect, pixels: np.ndarray, compress=True):
         super().__init__(dest)
         pixels = np.ascontiguousarray(pixels, dtype=np.uint8)
         if pixels.shape != (dest.height, dest.width, 4):
@@ -199,17 +206,42 @@ class RawCommand(Command):
                 f"pixels {pixels.shape} do not match {dest!r}"
             )
         self.pixels = pixels
-        self.compress = compress
+        if compress is True:
+            self.encoding = Encoding.PNG
+        elif compress is False:
+            self.encoding = Encoding.NONE
+        else:
+            self.encoding = Encoding(int(compress))
         self._payload: Optional[bytes] = None
         # Estimated wire size for scheduling, set when this command is
         # the remainder of a split: avoids recompressing the whole tail
         # on every flush period just to know its queue.
         self._size_hint: Optional[int] = None
 
+    @property
+    def compress(self) -> bool:
+        """Historical flag: is the payload anything but raw rows?"""
+        return self.encoding is not Encoding.NONE
+
+    def with_encoding(self, encoding) -> "RawCommand":
+        """This command under another encoding (fresh payload memo)."""
+        encoding = Encoding(int(encoding))
+        if encoding is self.encoding:
+            return self
+        cmd = RawCommand(self.dest, self.pixels, encoding)
+        cmd.seq = self.seq
+        cmd.realtime = self.realtime
+        cmd.sched_floor = self.sched_floor
+        return cmd
+
     def _encoded_payload(self) -> bytes:
         if self._payload is None:
-            if self.compress:
+            if self.encoding is Encoding.PNG:
                 self._payload = compression.png_compress(self.pixels)
+            elif self.encoding is Encoding.RLE:
+                self._payload = compression.rle_compress(self.pixels)
+            elif self.encoding is Encoding.LOSSY:
+                self._payload = compression.lossy_compress(self.pixels)
             else:
                 self._payload = self.pixels.tobytes()
         return self._payload
@@ -226,7 +258,7 @@ class RawCommand(Command):
 
     def translated(self, dx: int, dy: int) -> "RawCommand":
         cmd = RawCommand(self.dest.translate(dx, dy), self.pixels,
-                         self.compress)
+                         self.encoding)
         cmd._payload = self._payload
         cmd._wire_size = self._wire_size
         return cmd
@@ -241,11 +273,12 @@ class RawCommand(Command):
                 sub.y - self.dest.y : sub.y2 - self.dest.y,
                 sub.x - self.dest.x : sub.x2 - self.dest.x,
             ]
-            out.append(RawCommand(sub, block, self.compress))
+            out.append(RawCommand(sub, block, self.encoding))
         return out
 
     def try_merge(self, later: Command) -> Optional[Command]:
-        if not isinstance(later, RawCommand) or later.compress != self.compress:
+        if not isinstance(later, RawCommand) \
+                or later.encoding is not self.encoding:
             return None
         a, b = self.dest, later.dest
         # Vertical continuation (scan-line chunks of one image).
@@ -253,20 +286,35 @@ class RawCommand(Command):
             merged = Rect(a.x, a.y, a.width, a.height + b.height)
             return RawCommand(merged,
                               np.vstack([self.pixels, later.pixels]),
-                              self.compress)
+                              self.encoding)
         # Horizontal continuation.
         if a.y == b.y and a.height == b.height and a.x2 == b.x:
             merged = Rect(a.x, a.y, a.width + b.width, a.height)
             return RawCommand(merged,
                               np.hstack([self.pixels, later.pixels]),
-                              self.compress)
+                              self.encoding)
         return None
+
+    def _tail_size_estimate(self, rows: np.ndarray, per_row: int) -> int:
+        """Estimated wire size of a split tail carrying *rows*.
+
+        Computed from the encoding the tail actually carries, so the
+        scheduler's queue placement stays honest: NONE and RLE have
+        cheap exact sizes; the DEFLATE-backed encodings (PNG, LOSSY)
+        fall back to the parent's measured per-row cost.
+        """
+        overhead = _HEADER.size + _RAW_META.size
+        if self.encoding is Encoding.NONE:
+            return overhead + rows.size
+        if self.encoding is Encoding.RLE:
+            return overhead + compression.rle_size(rows)
+        return overhead + per_row * rows.shape[0]
 
     def split(self, max_bytes: int) -> Tuple[Command, Optional[Command]]:
         # Split by scan lines so partially sent updates show whole rows.
         if self.dest.height <= 1:
             return self, None
-        overhead = _HEADER.size + 6
+        overhead = _HEADER.size + _RAW_META.size
         if self.wire_size() <= max_bytes:
             return self, None
         per_row = max(1, (self.wire_size() - overhead) // self.dest.height)
@@ -275,9 +323,10 @@ class RawCommand(Command):
         top = Rect(self.dest.x, self.dest.y, self.dest.width, rows)
         bottom = Rect(self.dest.x, self.dest.y + rows, self.dest.width,
                       self.dest.height - rows)
-        head = RawCommand(top, self.pixels[:rows], self.compress)
-        rest = RawCommand(bottom, self.pixels[rows:], self.compress)
-        rest._size_hint = overhead + per_row * rest.dest.height
+        head = RawCommand(top, self.pixels[:rows], self.encoding)
+        rest = RawCommand(bottom, self.pixels[rows:], self.encoding)
+        rest._size_hint = self._tail_size_estimate(self.pixels[rows:],
+                                                   per_row)
         head.seq = rest.seq = self.seq
         head.realtime = rest.realtime = self.realtime
         head.sched_floor = rest.sched_floor = self.sched_floor
@@ -286,23 +335,25 @@ class RawCommand(Command):
     def encode(self) -> bytes:
         payload = self._encoded_payload()
         return (_HEADER.pack(self.type_id, *self.dest.as_tuple())
-                + _RAW_META.pack(int(self.compress), len(payload))
+                + _RAW_META.pack(int(self.encoding), len(payload))
                 + payload)
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "RawCommand":
         rect, offset = _unpack_rect(data, offset)
         _decode_need(data, offset, _RAW_META.size, "RAW metadata")
-        compressed, length = _RAW_META.unpack_from(data, offset)
+        encoding, length = _RAW_META.unpack_from(data, offset)
         offset += _RAW_META.size
+        if encoding > LIMITS.max_raw_encoding:
+            raise ValueError(f"unknown RAW encoding tag {encoding}")
         _decode_need(data, offset, length, "RAW payload")
         payload = data[offset : offset + length]
-        if compressed:
+        if encoding == Encoding.PNG:
             pixels = compression.png_decompress(payload)
-            if pixels.shape != (rect.height, rect.width, 4):
-                raise ValueError(
-                    f"RAW payload decompressed to {pixels.shape}, rect "
-                    f"is {rect!r}")
+        elif encoding == Encoding.RLE:
+            pixels = compression.rle_decompress(payload)
+        elif encoding == Encoding.LOSSY:
+            pixels = compression.lossy_decompress(payload)
         else:
             if length != rect.height * rect.width * 4:
                 raise ValueError(
@@ -310,7 +361,11 @@ class RawCommand(Command):
                     f"needs {rect.height * rect.width * 4}")
             pixels = np.frombuffer(payload, dtype=np.uint8).reshape(
                 rect.height, rect.width, 4)
-        cmd = cls(rect, pixels, bool(compressed))
+        if pixels.shape != (rect.height, rect.width, 4):
+            raise ValueError(
+                f"RAW payload decoded to {pixels.shape}, rect "
+                f"is {rect!r}")
+        cmd = cls(rect, pixels, encoding)
         cmd._payload = bytes(payload)
         return cmd
 

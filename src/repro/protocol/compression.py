@@ -1,11 +1,16 @@
 """Pixel-data compression for RAW protocol commands.
 
 RAW is the only THINC command carrying bulk pixel data, and the only one
-the prototype compresses (Section 7, using PNG).  This module implements
-the PNG compression model — per-row Paeth prediction filtering followed
-by DEFLATE — directly on RGBA pixel arrays, plus the plainer codecs the
-baseline systems use (raw zlib at several effort levels, and an RLE
-codec approximating VNC-style hextile encodings).
+the prototype compresses (Section 7, using PNG).  This module is the
+protocol-facing surface of the codec plane: the PNG compression model —
+per-row predictive filtering followed by DEFLATE — plus the plainer
+codecs the baselines and the adaptive encoder use (raw zlib at several
+effort levels, an RLE codec approximating VNC-style hextile encodings,
+and a JPEG-style lossy codec).  The numpy kernels live in
+:mod:`repro.codec.kernels` (no per-pixel Python loops anywhere — the
+Paeth unfilter runs as an anti-diagonal wavefront); this module owns
+the byte formats and binds every decoder to the global decode bounds in
+:mod:`repro.protocol.limits`.
 """
 
 from __future__ import annotations
@@ -13,87 +18,30 @@ from __future__ import annotations
 import numpy as np
 import zlib
 
+from ..codec import encodings as _lossy
+from ..codec import kernels
 from .limits import LIMITS
 
 __all__ = [
     "png_compress",
+    "png_compress_batch",
     "png_decompress",
     "zlib_compress",
     "zlib_decompress",
     "rle_compress",
     "rle_size",
     "rle_decompress",
+    "lossy_compress",
+    "lossy_decompress",
 ]
 
 
-def _paeth_predictor(a: np.ndarray, b: np.ndarray, c: np.ndarray
-                     ) -> np.ndarray:
-    """PNG's Paeth predictor, vectorised over int16 arrays."""
-    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
-    pa = np.abs(p - a)
-    pb = np.abs(p - b)
-    pc = np.abs(p - c)
-    pred = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
-    return pred.astype(np.uint8)
-
-
-def _paeth_filter(pixels: np.ndarray) -> np.ndarray:
-    """Apply the Paeth filter to every row of an HxWxC image."""
-    img = pixels.astype(np.uint8)
-    h, w, c = img.shape
-    flat = img.reshape(h, w * c)
-    left = np.zeros_like(flat)
-    left[:, c:] = flat[:, :-c]
-    up = np.zeros_like(flat)
-    up[1:, :] = flat[:-1, :]
-    upleft = np.zeros_like(flat)
-    upleft[1:, c:] = flat[:-1, :-c]
-    pred = _paeth_predictor(left, up, upleft)
-    return (flat.astype(np.int16) - pred.astype(np.int16)).astype(np.uint8)
-
-
-def _paeth_unfilter(filtered: np.ndarray, height: int, width: int,
-                    channels: int) -> np.ndarray:
-    """Invert the Paeth filter (inherently sequential, like libpng)."""
-    flat = filtered.reshape(height, width * channels)
-    out = np.zeros_like(flat)
-    c = channels
-    for y in range(height):
-        for xi in range(flat.shape[1]):
-            a = int(out[y, xi - c]) if xi >= c else 0
-            b = int(out[y - 1, xi]) if y >= 1 else 0
-            cc = int(out[y - 1, xi - c]) if (y >= 1 and xi >= c) else 0
-            p = a + b - cc
-            pa, pb, pc = abs(p - a), abs(p - b), abs(p - cc)
-            if pa <= pb and pa <= pc:
-                pred = a
-            elif pb <= pc:
-                pred = b
-            else:
-                pred = cc
-            out[y, xi] = (int(flat[y, xi]) + pred) & 0xFF
-    return out.reshape(height, width, channels)
-
-
-def _up_filter(pixels: np.ndarray) -> np.ndarray:
-    """PNG 'Up' predictor: each row minus the row above (mod 256)."""
-    img = pixels.astype(np.uint8)
-    h, w, c = img.shape
-    flat = img.reshape(h, w * c).astype(np.int16)
-    up = np.zeros_like(flat)
-    up[1:, :] = flat[:-1, :]
-    return (flat - up).astype(np.uint8)
-
-
-def _up_unfilter(filtered: np.ndarray, height: int, width: int,
-                 channels: int) -> np.ndarray:
-    """Invert the Up filter via a modular column cumsum (vectorised)."""
-    flat = filtered.reshape(height, width * channels).astype(np.uint64)
-    out = np.cumsum(flat, axis=0) % 256
-    return out.astype(np.uint8).reshape(height, width, channels)
-
-
 _FILTER_IDS = {"up": 0, "paeth": 1}
+
+
+def _png_header(h: int, w: int, c: int, row_filter: str) -> bytes:
+    return (h.to_bytes(2, "big") + w.to_bytes(2, "big")
+            + bytes([c, _FILTER_IDS[row_filter]]))
 
 
 def png_compress(pixels: np.ndarray, level: int = 6,
@@ -101,10 +49,10 @@ def png_compress(pixels: np.ndarray, level: int = 6,
     """PNG-model compression: predictive row filter + DEFLATE.
 
     Input is an HxWxC uint8 array; the output embeds the dimensions and
-    filter so that :func:`png_decompress` is self-contained.  The default
-    'up' predictor is fully vectorisable in both directions; 'paeth'
-    matches libpng's usual choice but its unfilter is inherently
-    sequential and only suitable for small blocks.
+    filter so that :func:`png_decompress` is self-contained.  The
+    default 'up' predictor is fully vectorisable in both directions;
+    'paeth' matches libpng's usual choice and its unfilter runs as an
+    anti-diagonal wavefront (O(h+w) numpy steps).
     """
     img = np.ascontiguousarray(pixels, dtype=np.uint8)
     if img.ndim != 3:
@@ -112,11 +60,31 @@ def png_compress(pixels: np.ndarray, level: int = 6,
     if row_filter not in _FILTER_IDS:
         raise ValueError(f"unknown row filter {row_filter!r}")
     h, w, c = img.shape
-    filtered = _up_filter(img) if row_filter == "up" else _paeth_filter(img)
+    filtered = (kernels.up_filter(img) if row_filter == "up"
+                else kernels.paeth_filter(img))
     body = zlib.compress(filtered.tobytes(), level)
-    header = (h.to_bytes(2, "big") + w.to_bytes(2, "big")
-              + bytes([c, _FILTER_IDS[row_filter]]))
-    return header + body
+    return _png_header(h, w, c, row_filter) + body
+
+
+def png_compress_batch(blocks, level: int = 6) -> list:
+    """Compress N same-shape HxWxC blocks in one fused filter pass.
+
+    The batch-prepare path: the 'up' row filter runs once over the
+    whole (N, H, W, C) stack, then each filtered image is DEFLATEd
+    individually (payloads stay per-command on the wire).  Byte-for-byte
+    identical to calling :func:`png_compress` per block.
+    """
+    blocks = list(blocks)
+    if not blocks:
+        return []
+    stack = np.stack([np.ascontiguousarray(b, dtype=np.uint8)
+                      for b in blocks])
+    if stack.ndim != 4:
+        raise ValueError("expected a batch of HxWxC pixel arrays")
+    _, h, w, c = stack.shape
+    filtered = kernels.batch_up_filter(stack)
+    header = _png_header(h, w, c, "up")
+    return [header + zlib.compress(f.tobytes(), level) for f in filtered]
 
 
 def png_decompress(data: bytes) -> np.ndarray:
@@ -150,9 +118,9 @@ def png_decompress(data: bytes) -> np.ndarray:
         )
     filtered = np.frombuffer(raw, dtype=np.uint8).reshape(h, w * c).copy()
     if filter_id == _FILTER_IDS["up"]:
-        return _up_unfilter(filtered, h, w, c)
+        return kernels.up_unfilter(filtered, h, w, c)
     if filter_id == _FILTER_IDS["paeth"]:
-        return _paeth_unfilter(filtered, h, w, c)
+        return kernels.paeth_unfilter(filtered, h, w, c)
     raise ValueError(f"unknown filter id {filter_id}")
 
 
@@ -178,23 +146,8 @@ def rle_compress(pixels: np.ndarray) -> bytes:
     if img.ndim != 3 or img.shape[2] != 4:
         raise ValueError("expected an HxWx4 RGBA array")
     h, w, _ = img.shape
-    flat = img.reshape(-1, 4)
-    view = flat.view(np.uint32).ravel()
-    out = bytearray()
-    out += h.to_bytes(2, "big") + w.to_bytes(2, "big")
-    if len(view):
-        # Find run boundaries.
-        changes = np.flatnonzero(np.diff(view)) + 1
-        starts = np.concatenate(([0], changes))
-        ends = np.concatenate((changes, [len(view)]))
-        for s, e in zip(starts, ends):
-            run = e - s
-            while run > 0:
-                chunk = min(run, 0xFFFF)
-                out += int(chunk).to_bytes(2, "big")
-                out += flat[s].tobytes()
-                run -= chunk
-    return bytes(out)
+    return (h.to_bytes(2, "big") + w.to_bytes(2, "big")
+            + kernels.rle_encode(img))
 
 
 def rle_size(pixels: np.ndarray) -> int:
@@ -204,36 +157,33 @@ def rle_size(pixels: np.ndarray) -> int:
     img = np.ascontiguousarray(pixels, dtype=np.uint8)
     if img.ndim != 3 or img.shape[2] != 4:
         raise ValueError("expected an HxWx4 RGBA array")
-    view = img.reshape(-1, 4).view(np.uint32).ravel()
-    if len(view) == 0:
-        return 4
-    changes = np.flatnonzero(np.diff(view)) + 1
-    starts = np.concatenate(([0], changes))
-    ends = np.concatenate((changes, [len(view)]))
-    lengths = ends - starts
-    # Runs longer than 0xFFFF are emitted in chunks.
-    chunks = int(np.sum((lengths + 0xFFFF - 1) // 0xFFFF))
-    return 4 + 6 * chunks
+    return 4 + kernels.rle_encoded_size(img)
 
 
 def rle_decompress(data: bytes) -> np.ndarray:
-    """Invert :func:`rle_compress`."""
+    """Invert :func:`rle_compress`.
+
+    Bounded like :func:`png_decompress`: the declared geometry may not
+    exceed the global decoded-pixel limit, and the runs must cover it
+    exactly with no trailing bytes.
+    """
     if len(data) < 4:
         raise ValueError("truncated RLE data")
     h = int.from_bytes(data[0:2], "big")
     w = int.from_bytes(data[2:4], "big")
-    total = h * w
-    out = np.empty((total, 4), dtype=np.uint8)
-    pos = 4
-    filled = 0
-    while filled < total:
-        if pos + 6 > len(data):
-            raise ValueError("truncated RLE run")
-        run = int.from_bytes(data[pos : pos + 2], "big")
-        pixel = np.frombuffer(data[pos + 2 : pos + 6], dtype=np.uint8)
-        out[filled : filled + run] = pixel
-        filled += run
-        pos += 6
-    if filled != total or pos != len(data):
-        raise ValueError("RLE data does not match declared dimensions")
-    return out.reshape(h, w, 4)
+    if h * w * 4 > LIMITS.max_decoded_pixel_bytes:
+        raise ValueError(
+            f"declared geometry {h}x{w} decodes to {h * w * 4} bytes, "
+            f"limit is {LIMITS.max_decoded_pixel_bytes}")
+    return kernels.rle_decode(data[4:], h * w).reshape(h, w, 4)
+
+
+def lossy_compress(pixels: np.ndarray, qstep: int = 8) -> bytes:
+    """JPEG-style lossy compression (4:2:0 + quantise + DEFLATE)."""
+    return _lossy.lossy_encode(pixels, qstep)
+
+
+def lossy_decompress(data: bytes) -> np.ndarray:
+    """Invert :func:`lossy_compress` up to quantisation error, bounded
+    by the global decoded-pixel limit."""
+    return _lossy.lossy_decode(data, LIMITS.max_decoded_pixel_bytes)

@@ -61,6 +61,12 @@ class WireLimits:
     #: may claim for a viewport or source geometry.
     max_viewport_dim: int = 16384
 
+    #: Highest RAW payload encoding tag a decoder accepts (the
+    #: :class:`repro.codec.Encoding` ladder: 0 raw, 1 PNG-model,
+    #: 2 RLE, 3 lossy).  A tag past this dies before any payload
+    #: decode is attempted.
+    max_raw_encoding: int = 3
+
     #: Largest expansion a compressed RAW/COMPOSITE payload may
     #: declare; bounds the decompression output buffer so a deflate
     #: bomb cannot balloon a 16 MB frame into gigabytes of pixels.

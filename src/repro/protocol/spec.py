@@ -49,8 +49,12 @@ PROTOCOL_SPEC: List[MessageSpec] = [
     MessageSpec(
         "RAW", 1, "s->c", "3/Table 1",
         "Display raw pixel data at a given location; the last-resort "
-        "command and the only one that may be compressed (PNG-model).",
-        "rect[4xu16] compressed[u8] length[u32] payload[length]",
+        "command and the only one that may be compressed.  The encoding "
+        "byte is a bounded enum (<= max_raw_encoding) naming how the "
+        "payload is packed: 0 raw rows, 1 PNG-model (the paper's "
+        "choice), 2 RLE, 3 JPEG-style lossy; see the encoding ladder "
+        "below.",
+        "rect[4xu16] encoding[u8] length[u32] payload[length]",
         _commands.RawCommand),
     MessageSpec(
         "COPY", 2, "s->c", "3/Table 1",
@@ -286,6 +290,39 @@ def render_protocol_reference() -> str:
         lines.append(spec.summary)
         lines.append("")
     lines += [
+        "## RAW payload encodings",
+        "",
+        "The RAW command's encoding byte names one of the",
+        "`repro.codec.Encoding` values; anything above",
+        "`max_raw_encoding` is rejected before payload decode.",
+        "",
+        "| tag | encoding | lossless | payload |",
+        "|---|---|---|---|",
+        "| 0 | `NONE` | yes | `h*w*4` RGBA rows, no framing |",
+        "| 1 | `PNG` | yes | `h[u16] w[u16] c[u8] filter[u8]` + "
+        "DEFLATE of filtered rows (filter 0 = Up, 1 = Paeth) |",
+        "| 2 | `RLE` | yes | `h[u16] w[u16]` + (count[u16] rgba[4xu8]) "
+        "run pairs covering exactly `h*w` pixels |",
+        "| 3 | `LOSSY` | no | `h[u16] w[u16] qstep[u8]` + DEFLATE of "
+        "quantised YV12 (4:2:0) + alpha planes at even-padded "
+        "dimensions |",
+        "",
+        "Tags 0/1 coincide with the historical boolean `compressed`",
+        "flag, so pre-enum streams decode unchanged.",
+        "",
+        "### Adaptive selection ladder",
+        "",
+        "With the adaptive encoder enabled, `repro.codec.EncoderPolicy`",
+        "picks per command from block content and link posture (the",
+        "governor's degraded flag, or measured downlink throughput at",
+        "the packet monitor approaching link capacity):",
+        "",
+        "* solid block -> demoted to an `SFILL` command outright;",
+        "* flat block (tiny palette, long runs) -> `RLE`;",
+        "* otherwise -> `PNG` while the link is idle (lossless floor),",
+        "  `LOSSY` under degraded posture — a later lossless refresh",
+        "  restores pixel-exact content once the link drains.",
+        "",
         "## Decode limits",
         "",
         "Hard bounds the decode layer (`repro.protocol.wire`) enforces",
