@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze contracts-doc sanitize chaos fuzz fuzz-smoke cluster-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze contracts-doc sanitize chaos fuzz fuzz-smoke cluster-smoke fanout-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -46,7 +46,8 @@ chaos:
 	  THINC_SANITIZE=1 THINC_CHAOS_SEED=$$seed PYTHONPATH=src \
 	  $(PY) -m pytest tests/net/test_faults.py \
 	    tests/core/test_resilience.py \
-	    tests/cluster/test_migration.py -x -q || exit 1; \
+	    tests/cluster/test_migration.py \
+	    tests/fanout/test_migration_fanout.py -x -q || exit 1; \
 	done
 
 # End-to-end shard-fabric smoke: 2 shards x 8 sessions behind the
@@ -74,11 +75,18 @@ fuzz-smoke:
 ci: lint analyze
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
-# Micro-performance harness: region ops, queue churn, pipeline
-# throughput, and the PR-6 shard-fabric scaling/migration numbers.
-# Writes BENCH_PR8.json at the repo root (see docs/PERF.md).
+# Micro-performance harness: region ops, queue churn, codec plane,
+# pipeline throughput, shard-fabric scaling/migration, and the PR-9
+# broadcast fan-out / tile-wall numbers.  Writes BENCH_PR9.json at the
+# repo root (see docs/PERF.md).
 bench:
-	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR8.json
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR9.json
+
+# Fan-out smoke: a quick 20-subscriber broadcast + tile-wall run that
+# must hold the < 3x prepare-CPU gate, then a schema check of the
+# committed BENCH_PR9.json.  See docs/FANOUT.md.
+fanout-smoke:
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --fanout-smoke
 
 # CI smoke mode: small workloads, then schema-validate the report.
 bench-smoke:

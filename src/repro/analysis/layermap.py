@@ -34,6 +34,13 @@ The resulting DAG, low to high::
 ``repro.core.sanitizer`` intentionally lives in ``core`` rather than
 here so the runtime invariant checks obey the very layering they help
 protect.
+
+``repro.core.fanout`` (the broadcast fan-out plane) likewise takes
+core's rank (THL100: rank 30): it is a delivery mode *beside* the
+buffer/flush stages, built from the prepare plane below it and session
+units beside it.  The cluster fabric (rank 42) may drive it — a
+subscriber can attach through any shard's relay — but the plane itself
+never imports upward.
 """
 
 from __future__ import annotations

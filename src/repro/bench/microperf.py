@@ -452,6 +452,108 @@ def _bench_fabric(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+# -- fan-out workloads -----------------------------------------------------
+
+_FANOUT_SUBS = (100, 20)
+_FANOUT_DRAWS = (40, 10)
+_FANOUT_W, _FANOUT_H = 256, 192
+
+
+def _fanout_rig(subscribers: int, tile_grid=None):
+    """One server with *subscribers* broadcast clients attached.
+
+    Mirror subscribers split across two viewport classes (full-size
+    and quarter-size) so the prepare-once claim is measured against a
+    genuinely heterogeneous wall, not one degenerate class.  With
+    ``tile_grid=(cols, rows)`` the clients own wall tiles instead.
+    """
+    from ..core import THINCClient, THINCServer
+    from ..core.governor import ServerBudget
+    from ..display import WindowServer
+    from ..net import Connection, EventLoop
+    from ..protocol import wire
+
+    loop = EventLoop()
+    server = THINCServer(
+        loop, _FANOUT_W, _FANOUT_H,
+        server_budget=ServerBudget(max_sessions=subscribers + 8))
+    ws = WindowServer(_FANOUT_W, _FANOUT_H, driver=server.driver,
+                      clock=loop.clock)
+    for i in range(subscribers):
+        conn = Connection(loop, LAN_DESKTOP)
+        if tile_grid is None and i % 2:
+            viewport = (_FANOUT_W // 2, _FANOUT_H // 2)
+        else:
+            viewport = (_FANOUT_W, _FANOUT_H)
+        server.attach_client(conn, viewport=viewport)
+        THINCClient(loop, conn, headless=True)
+        session = server.sessions[-1]
+        if tile_grid is None:
+            server.fanout.subscribe(session)
+        else:
+            cols, rows = tile_grid
+            server.fanout.handle_subscribe(session, wire.SubscribeMessage(
+                wire.SUBSCRIBE_TILE, cols, rows, i % (cols * rows)))
+    return loop, server, ws
+
+
+def _fanout_drain(subscribers: int, draws: int, tile_grid=None):
+    """Simulated prepare-CPU seconds and delivered message count for a
+    RAW draw burst fanned out to *subscribers* clients."""
+    from ..region import Rect as _Rect
+
+    loop, server, ws = _fanout_rig(subscribers, tile_grid=tile_grid)
+    loop.run_until_idle(max_time=30)
+    cpu0 = server.stats["cpu_time"]
+    sent0 = sum(s.stats["messages_sent"] for s in server.sessions)
+    rng = np.random.default_rng(_SEED + 9)
+    for _ in range(draws):
+        x = int(rng.integers(0, _FANOUT_W - 48))
+        y = int(rng.integers(0, _FANOUT_H - 36))
+        img = rng.integers(0, 256, (36, 48, 4), dtype=np.uint8)
+        ws.put_image(ws.screen, _Rect(x, y, 48, 36), img)
+    loop.run_until_idle(max_time=600)
+    cpu = server.stats["cpu_time"] - cpu0
+    delivered = sum(s.stats["messages_sent"] for s in server.sessions) - sent0
+    return cpu, delivered
+
+
+def _bench_fanout(quick: bool) -> Dict[str, Dict[str, float]]:
+    """The PR-9 broadcast plane: prepare-once-per-class means the CPU
+    of a 100-subscriber wall stays within a small constant of a single
+    unicast client (the acceptance gate is ``cpu_ratio < 3``)."""
+    subscribers = _FANOUT_SUBS[quick]
+    draws = _FANOUT_DRAWS[quick]
+    start = time.perf_counter()
+    single_cpu, single_sent = _fanout_drain(1, draws)
+    fanout_cpu, fanout_sent = _fanout_drain(subscribers, draws)
+    # A square-ish wall covering every subscriber exactly once.
+    cols = max(1, int(round(subscribers ** 0.5)))
+    rows = max(1, subscribers // cols)
+    wall_cpu, wall_sent = _fanout_drain(cols * rows, draws,
+                                        tile_grid=(cols, rows))
+    wall = time.perf_counter() - start
+    return {
+        "broadcast": {
+            "subscribers": float(subscribers),
+            "draws": float(draws),
+            "single_cpu_s": single_cpu,
+            "fanout_cpu_s": fanout_cpu,
+            "cpu_ratio": fanout_cpu / single_cpu if single_cpu else
+            float("inf"),
+            "delivered": float(fanout_sent),
+        },
+        "tile_wall": {
+            "cols": float(cols),
+            "rows": float(rows),
+            "draws": float(draws),
+            "cpu_s": wall_cpu,
+            "delivered": float(wall_sent),
+            "wall_s": wall,
+        },
+    }
+
+
 # -- codec workloads -------------------------------------------------------
 
 _PAETH_DIMS = ((96, 128), (32, 48))    # (h, w): full, quick
@@ -703,7 +805,7 @@ def run_suite(quick: bool = False) -> Dict:
     report = {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
-        "pr": "PR8",
+        "pr": "PR9",
         "quick": quick,
         "python": sys.version.split()[0],
         "params": {
@@ -721,6 +823,7 @@ def run_suite(quick: bool = False) -> Dict:
             "codec": _bench_codec(quick, repeats),
             "pipeline": _bench_pipeline(quick),
             "fabric": _bench_fabric(quick),
+            "fanout": _bench_fanout(quick),
         },
     }
     return report
@@ -748,6 +851,13 @@ _FABRIC_KEYS = {
                 "one_shard_msgs_per_s", "two_shard_msgs_per_s", "speedup"),
     "migration": ("pause_s", "transfer_bytes", "wall_s"),
 }
+_FANOUT_KEYS = {
+    "broadcast": ("subscribers", "draws", "single_cpu_s", "fanout_cpu_s",
+                  "cpu_ratio", "delivered"),
+    "tile_wall": ("cols", "rows", "draws", "cpu_s", "delivered", "wall_s"),
+}
+#: The PR-9 acceptance gate on the broadcast section.
+_FANOUT_CPU_RATIO_BOUND = 3.0
 
 
 def validate_report(report) -> List[str]:
@@ -821,6 +931,27 @@ def validate_report(report) -> List[str]:
                 if value is not None and value <= 0:
                     problems.append(
                         f"results.fabric.{name}.{field}: must be positive")
+    fanout = _need(results, "fanout", dict, "results")
+    if fanout is not None:
+        for name, fields in _FANOUT_KEYS.items():
+            entry = _need(fanout, name, dict, "results.fanout")
+            if entry is None:
+                continue
+            for field in fields:
+                value = _need(entry, field, (int, float),
+                              f"results.fanout.{name}")
+                if value is not None and value <= 0:
+                    problems.append(
+                        f"results.fanout.{name}.{field}: must be positive")
+        broadcast = fanout.get("broadcast")
+        if isinstance(broadcast, dict):
+            ratio = broadcast.get("cpu_ratio")
+            if isinstance(ratio, (int, float)) and \
+                    ratio >= _FANOUT_CPU_RATIO_BOUND:
+                problems.append(
+                    "results.fanout.broadcast.cpu_ratio: "
+                    f"{ratio:.2f} breaches the < "
+                    f"{_FANOUT_CPU_RATIO_BOUND:g}x fan-out gate")
     return problems
 
 
@@ -868,6 +999,19 @@ def _summarize(report: Dict) -> str:
     lines.append(
         f"fabric.migration      pause {migration['pause_s'] * 1000:.0f}ms"
         f" sim  transfer {migration['transfer_bytes']:.0f}B")
+    fanout = results["fanout"]
+    broadcast, tile_wall = fanout["broadcast"], fanout["tile_wall"]
+    lines.append(
+        f"fanout.broadcast      {broadcast['subscribers']:.0f} subs"
+        f"  single {broadcast['single_cpu_s']:.4f}s sim"
+        f"  fanout {broadcast['fanout_cpu_s']:.4f}s sim"
+        f"  cpu ratio {broadcast['cpu_ratio']:.2f}x"
+        f" (< {_FANOUT_CPU_RATIO_BOUND:g} gate)")
+    lines.append(
+        f"fanout.tile_wall      {tile_wall['cols']:.0f}x"
+        f"{tile_wall['rows']:.0f} wall"
+        f"  cpu {tile_wall['cpu_s']:.4f}s sim"
+        f"  delivered {tile_wall['delivered']:.0f} msgs")
     return "\n".join(lines)
 
 
@@ -877,11 +1021,44 @@ def main(argv=None) -> int:
         description="THINC micro-performance harness (see docs/PERF.md)")
     parser.add_argument("--quick", action="store_true",
                         help="small workloads for the CI smoke job")
-    parser.add_argument("--out", default="BENCH_PR8.json",
+    parser.add_argument("--out", default="BENCH_PR9.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--validate", metavar="PATH",
                         help="schema-check an existing report and exit")
+    parser.add_argument("--fanout-smoke", action="store_true",
+                        help="quick fan-out-only run (20 subscribers) plus "
+                             "a schema check of the committed report")
     args = parser.parse_args(argv)
+
+    if args.fanout_smoke:
+        section = _bench_fanout(quick=True)
+        broadcast = section["broadcast"]
+        print(f"fanout.broadcast  {broadcast['subscribers']:.0f} subs"
+              f"  single {broadcast['single_cpu_s']:.4f}s sim"
+              f"  fanout {broadcast['fanout_cpu_s']:.4f}s sim"
+              f"  cpu ratio {broadcast['cpu_ratio']:.2f}x")
+        tile_wall = section["tile_wall"]
+        print(f"fanout.tile_wall  {tile_wall['cols']:.0f}x"
+              f"{tile_wall['rows']:.0f} wall  cpu {tile_wall['cpu_s']:.4f}s"
+              f" sim  delivered {tile_wall['delivered']:.0f} msgs")
+        if broadcast["cpu_ratio"] >= _FANOUT_CPU_RATIO_BOUND:
+            print(f"fanout smoke: cpu_ratio {broadcast['cpu_ratio']:.2f} "
+                  f">= {_FANOUT_CPU_RATIO_BOUND:g}", file=sys.stderr)
+            return 1
+        try:
+            with open(args.out) as handle:
+                report = json.load(handle)
+        except OSError as exc:
+            print(f"fanout smoke: cannot read {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.out}: valid {SCHEMA} v{SCHEMA_VERSION} report")
+        return 0
 
     if args.validate:
         with open(args.validate) as handle:

@@ -6,6 +6,7 @@ from .client import ClientCostModel, THINCClient
 from .miniclient import MiniClient
 from .command_queue import CommandQueue
 from .delivery import ClientBuffer, FlushResult
+from .fanout import BroadcastPlane, FanoutConfig, TileWall
 from .governor import (AdmissionDenied, Budget, Governor, GovernorStats,
                        ServerBudget)
 from .pipeline import PreparePlane, StageStats, STAGE_NAMES
@@ -30,6 +31,9 @@ __all__ = [
     "CommandQueue",
     "ClientBuffer",
     "FlushResult",
+    "BroadcastPlane",
+    "FanoutConfig",
+    "TileWall",
     "SRSFScheduler",
     "FIFOScheduler",
     "PreparePlane",

@@ -114,6 +114,9 @@ class THINCClient:
         self.cursor_hotspot: Tuple[int, int] = (0, 0)
         self.video_streams: Dict[int, wire.VideoSetupMessage] = {}
         self.video_stats: Dict[int, VideoStreamStats] = {}
+        # Display-wall membership, set by a TILE_ASSIGN from the server
+        # after a tile-mode SUBSCRIBE.
+        self.tile_assignment: Optional[wire.TileAssignMessage] = None
         self.audio = AudioStats()
         self.stats = {
             "bytes_received": 0,
@@ -181,6 +184,13 @@ class THINCClient:
         self.connection.up.write(
             wire.encode_message(wire.RefreshRequestMessage(rect)))
 
+    def request_subscribe(self, mode: int = 0, cols: int = 0,
+                          rows: int = 0, index: int = 0) -> None:
+        """Join the broadcast fan-out plane (mirror by default; pass
+        ``mode=wire.SUBSCRIBE_TILE`` plus a grid to claim a wall tile)."""
+        self.connection.up.write(wire.encode_message(
+            wire.SubscribeMessage(mode, cols, rows, index)))
+
     def request_zoom(self, rect) -> None:
         """Zoom the viewport onto a desktop region (Section 6); an
         empty rect zooms back out to the whole desktop."""
@@ -246,6 +256,14 @@ class THINCClient:
             if self.fb is None or (self.fb.width, self.fb.height) != (
                     msg.width, msg.height):
                 self.fb = Framebuffer(msg.width, msg.height)
+            return
+        if isinstance(msg, wire.TileAssignMessage):
+            # Display-wall membership: remember which sub-rectangle of
+            # the virtual wall this panel owns.  The stream that
+            # follows is already clipped to it (at 1:1), so execution
+            # needs no change — the assignment is for placement and
+            # wall reassembly.
+            self.tile_assignment = msg
             return
         if isinstance(msg, wire.VideoSetupMessage):
             self.video_streams[msg.stream_id] = msg

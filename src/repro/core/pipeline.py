@@ -42,12 +42,13 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
-from ..codec import Encoding
+from ..codec import Encoding, LinkPosture, classify
 from ..protocol import compression, wire
 from ..protocol.commands import (Command, CompositeCommand, RawCommand,
                                  SFillCommand)
+from . import sanitizer
 
 __all__ = ["STAGE_NAMES", "StageStats", "PreparedCommand", "PreparePlane",
            "TranslateStage", "FrameStage"]
@@ -153,10 +154,37 @@ class PreparePlane:
         # is part of the command's cached identity.
         self.policy = None
         self.posture = None
+        # Optional per-session posture probe (``session -> LinkPosture``
+        # or bool).  When set alongside ``policy``, every fresh RAW
+        # command is encoded once per *posture equivalence class* of the
+        # submitted sessions instead of once under the server-wide
+        # worst-link posture — the broadcast fan-out plane wires this so
+        # one congested subscriber can never force lossy payloads on its
+        # LAN-class peers.  ``posture`` (zero-arg, server-wide) remains
+        # the fallback when this is unset.
+        self.posture_of = None
+        # Pinned cache keys: entries still referenced by a pending
+        # broadcast relay queue.  Refcounted; :meth:`_trim` skips them
+        # so the LRU bound can never evict work a relay has promised to
+        # deliver (the sanitizer audits this — see
+        # ``repro.core.sanitizer.check_prepare_pins``).
+        self._pins: Dict[Tuple, int] = {}
+        # ``rect -> pixels`` over the live screen framebuffer, supplied
+        # by the server so the scale stage can materialise COPY
+        # commands whose source lies outside a session's view (tile
+        # walls, zoomed viewports).
+        self.read_back = None
         self.scale_stats = StageStats()
         self.stats = StageStats()  # the Prepare/Compress stage
 
     # -- adaptive encoding ---------------------------------------------------
+
+    def _demote_solid(self, command: RawCommand, color) -> SFillCommand:
+        fill = SFillCommand(command.dest, color)
+        fill.seq = command.seq
+        fill.realtime = command.realtime
+        fill.sched_floor = command.sched_floor
+        return fill
 
     def _admit_encoding(self, command: Command) -> Command:
         if (self.policy is None or not isinstance(command, RawCommand)
@@ -165,12 +193,61 @@ class PreparePlane:
         posture = self.posture() if self.posture is not None else False
         choice = self.policy.select(command.pixels, posture)
         if choice.solid_color is not None:
-            fill = SFillCommand(command.dest, choice.solid_color)
-            fill.seq = command.seq
-            fill.realtime = command.realtime
-            fill.sched_floor = command.sched_floor
-            return fill
+            return self._demote_solid(command, choice.solid_color)
         return command.with_encoding(choice.encoding)
+
+    def variants(self, command: Command,
+                 sessions: Iterable) -> Iterator[Tuple[List, Command]]:
+        """Partition *sessions* into encoding equivalence classes.
+
+        Yields ``(members, variant)`` pairs where *variant* is the
+        command encoded for that class and *members* the sessions that
+        should receive it.  Without a per-session posture probe this
+        degenerates to the single-class path: one variant (the
+        server-wide admitted encoding) for every session.  All variants
+        of one submitted command share a single prep id, so two posture
+        classes that resolve to the same encoding also share one cache
+        entry per scale key — the ``(scale, pixel-format, encoding)``
+        equivalence class of the fan-out design.
+        """
+        sessions = list(sessions)
+        if (self.policy is None or self.posture_of is None
+                or not isinstance(command, RawCommand)
+                or getattr(command, "_prep_id", None) is not None):
+            variant = self._admit_encoding(command)
+            if getattr(variant, "_prep_id", None) is None:
+                variant._prep_id = next(self._prep_ids)
+            yield sessions, variant
+            return
+        pid = command._prep_id = next(self._prep_ids)
+        classes: "OrderedDict[int, List]" = OrderedDict()
+        for session in sessions:
+            classes.setdefault(int(self.posture_of(session)),
+                               []).append(session)
+        # Content statistics are posture-independent: classify once per
+        # command, not once per class.
+        stats = classify(command.pixels)
+        emitted: "OrderedDict[int, Tuple[List, Command]]" = OrderedDict()
+        for posture_key, members in classes.items():
+            choice = self.policy.select(command.pixels,
+                                        LinkPosture(posture_key),
+                                        stats=stats)
+            if choice.solid_color is not None:
+                variant = self._demote_solid(command, choice.solid_color)
+            elif choice.encoding is command.encoding:
+                # Same encoding the translator produced: reuse the
+                # original so a pre-materialised batch payload survives.
+                variant = command
+            else:
+                variant = command.with_encoding(choice.encoding)
+            variant._prep_id = pid
+            marker = self._encoding_of(variant)
+            if marker in emitted:
+                emitted[marker][0].extend(members)
+            else:
+                emitted[marker] = (members, variant)
+        for members, variant in emitted.values():
+            yield members, variant
 
     @staticmethod
     def _encoding_of(command: Command) -> int:
@@ -183,39 +260,57 @@ class PreparePlane:
         """Prepare *command* once per distinct viewport among *sessions*
         and fan the prepared clones out to each session's buffer stage.
         """
-        command = self._admit_encoding(command)
-        pid = getattr(command, "_prep_id", None)
-        if pid is None:
-            pid = command._prep_id = next(self._prep_ids)
-        for session in sessions:
-            key = (pid, self._encoding_of(command)) + session.scaler.key
-            entry = self._cache.get(key)
-            if entry is None:
-                shared = self.shared_cache
-                entry = shared.get(command, session.scaler.key) \
-                    if shared is not None else None
-                if entry is not None:
-                    # A peer plane already paid the CPU for this exact
-                    # (content, viewport) pair; adopt its entry locally.
-                    self._store(key, entry)
-                    self.stats.cache_hits += 1
-                else:
-                    entry, cost = self._prepare(command, session.scaler)
-                    self._store(key, entry)
-                    self.stats.cache_misses += 1
-                    # Attribute the miss to the session that triggered
-                    # it; per-session cpu_time sums to the server total.
-                    session.stats["cpu_time"] += cost
-                    if shared is not None:
-                        shared.put(command, session.scaler.key, entry)
-            else:
-                self._cache.move_to_end(key)
+        for members, variant in self.variants(command, sessions):
+            for session in members:
+                _, entry = self.prepare_entry(variant, session)
+                for prepared in entry:
+                    # Per-session clone: shares pixels and compressed
+                    # payload, but queue-mutable state stays private.
+                    session.enqueue_prepared(
+                        prepared.command.translated(0, 0),
+                        prepared.ready_at)
+
+    def prepare_entry(self, command: Command, session,
+                      pin: bool = False
+                      ) -> Tuple[Tuple, List[PreparedCommand]]:
+        """Resolve *command* to its prepared entry for *session*'s
+        viewport: cache hit, shared-cache adoption, or a fresh prepare
+        (the CPU-charging miss).  Returns ``(cache_key, entry)``.
+
+        Callers that hold entries across event-loop turns (the
+        broadcast relay queues) must pass ``pin=True`` rather than
+        calling :meth:`pin` afterwards: the store inside this method
+        trims the cache, and when every other slot is already pinned
+        the trim would evict the *new* key before the caller could
+        protect it.
+        """
+        pid = command._prep_id
+        key = (pid, self._encoding_of(command)) + session.scaler.key
+        if pin:
+            self.pin(key)
+        entry = self._cache.get(key)
+        if entry is None:
+            shared = self.shared_cache
+            entry = shared.get(command, session.scaler.key) \
+                if shared is not None else None
+            if entry is not None:
+                # A peer plane already paid the CPU for this exact
+                # (content, viewport) pair; adopt its entry locally.
+                self._store(key, entry)
                 self.stats.cache_hits += 1
-            for prepared in entry:
-                # Per-session clone: shares pixels and compressed
-                # payload, but queue-mutable state stays private.
-                session.enqueue_prepared(prepared.command.translated(0, 0),
-                                         prepared.ready_at)
+            else:
+                entry, cost = self._prepare(command, session.scaler)
+                self._store(key, entry)
+                self.stats.cache_misses += 1
+                # Attribute the miss to the session that triggered
+                # it; per-session cpu_time sums to the server total.
+                session.stats["cpu_time"] += cost
+                if shared is not None:
+                    shared.put(command, session.scaler.key, entry)
+        else:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+        return key, entry
 
     def submit_batch(self, commands: Iterable[Command],
                      sessions: Iterable) -> None:
@@ -251,7 +346,7 @@ class PreparePlane:
     def _prepare(self, command: Command,
                  scaler) -> Tuple[List[PreparedCommand], float]:
         self.scale_stats.commands_in += 1
-        scaled = scaler.scale_command(command)
+        scaled = scaler.scale_command(command, read_back=self.read_back)
         self.scale_stats.commands_out += len(scaled)
         out: List[PreparedCommand] = []
         total_cost = 0.0
@@ -275,8 +370,46 @@ class PreparePlane:
 
     def _store(self, key: Tuple, entry: List[PreparedCommand]) -> None:
         self._cache[key] = entry
-        while len(self._cache) > self.cache_entries:
-            self._cache.popitem(last=False)
+        self._trim()
+
+    def _trim(self) -> None:
+        """Evict LRU entries past the bound, skipping pinned keys.
+
+        A pinned entry is referenced by a broadcast relay queue that
+        has not yet drained it to its subscriber; evicting it would
+        force a re-prepare (or, for an adaptive re-encode, silently
+        change bytes a peer subscriber already received from the same
+        class).  The cache may therefore transiently exceed
+        ``cache_entries`` by at most the number of pinned keys.
+        """
+        excess = len(self._cache) - self.cache_entries
+        if excess > 0:
+            for key in list(self._cache):
+                if excess <= 0:
+                    break
+                if key in self._pins:
+                    continue
+                del self._cache[key]
+                excess -= 1
+        sanitizer.check_prepare_pins(self)
+
+    # -- broadcast pins ------------------------------------------------------
+
+    def pin(self, key: Tuple) -> None:
+        """Hold *key* against eviction (one reference; refcounted)."""
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: Tuple) -> None:
+        """Release one reference on *key*; trims once it is unpinned."""
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+        else:
+            self._pins.pop(key, None)
+            self._trim()
+
+    def pinned_entries(self) -> int:
+        return len(self._pins)
 
     # -- diagnostics ---------------------------------------------------------
 

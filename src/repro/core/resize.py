@@ -109,6 +109,8 @@ class DisplayScaler:
         cw, ch = client_size
         if min(sw, sh, cw, ch) <= 0:
             raise ValueError("sizes must be positive")
+        self.server_w = sw
+        self.server_h = sh
         self.view = view_rect if view_rect is not None else Rect(
             0, 0, sw, sh)
         if self.view.empty:
@@ -120,8 +122,14 @@ class DisplayScaler:
 
     @property
     def identity(self) -> bool:
+        # A 1:1 view is only a passthrough when it covers the *whole*
+        # server framebuffer: an origin-anchored sub-view (e.g. a tile
+        # wall's top-left tile) still needs clipping, and COPY sources
+        # outside it still need materialising.
         return (self.sx == 1.0 and self.sy == 1.0
-                and self.view.x == 0 and self.view.y == 0)
+                and self.view.x == 0 and self.view.y == 0
+                and self.view.width == self.server_w
+                and self.view.height == self.server_h)
 
     @property
     def key(self):
@@ -135,10 +143,23 @@ class DisplayScaler:
         return (self.view.x, self.view.y, self.view.width,
                 self.view.height, self.client_w, self.client_h)
 
-    def scale_command(self, cmd: Command) -> List[Command]:
-        """Apply the Section 6 per-command policy; may return []."""
+    def scale_command(self, cmd: Command,
+                      read_back=None) -> List[Command]:
+        """Apply the Section 6 per-command policy; may return [].
+
+        *read_back*, when given, is ``rect -> pixels`` over the live
+        server framebuffer.  A COPY whose source lies outside the view
+        cannot be replayed client-side — the client never received
+        those pixels — so it is materialised as RAW from the
+        framebuffer (which already holds the post-copy content at
+        submit time).  Without *read_back* such a copy would fault in
+        ``translated``; every server-driven path supplies it.
+        """
         if self.identity:
             return [cmd]
+        if (isinstance(cmd, CopyCommand) and read_back is not None
+                and not self.view.contains(cmd.src_rect)):
+            cmd = RawCommand(cmd.dest, read_back(cmd.dest), compress=True)
         visible = cmd.dest.intersect(self.view)
         if visible.empty:
             return []

@@ -35,6 +35,7 @@ from ..protocol.commands import (Command, CompositeCommand, RawCommand,
 from ..protocol.limits import LIMITS
 from ..region import Rect
 from . import pipeline
+from .fanout import BroadcastPlane, FanoutConfig
 from .governor import Budget, Governor, ServerBudget
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
@@ -106,7 +107,8 @@ class THINCServer:
                  budget: Optional[Budget] = None,
                  server_budget: Optional[ServerBudget] = None,
                  adaptive_encoding: bool = False,
-                 encoder_policy: Optional[EncoderPolicy] = None):
+                 encoder_policy: Optional[EncoderPolicy] = None,
+                 fanout: Optional[FanoutConfig] = None):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -119,6 +121,7 @@ class THINCServer:
         self.translate = pipeline.TranslateStage()
         self.plane = pipeline.PreparePlane(
             loop, self.cost_model, cache_entries=prepare_cache_entries)
+        self.plane.read_back = self._read_screen_pixels
         self.sessions: List[THINCSession] = []
         # Callback invoked with (session, InputMessage) for every input
         # event a client sends; the testbed wires this to the window
@@ -148,6 +151,13 @@ class THINCServer:
         # would turn the monitor into the hot path.
         self._posture_at = -1.0
         self._posture_value = LinkPosture.LOSSLESS
+        # Per-session posture memo for the fan-out plane's encoding
+        # classes; keyed by session identity, reset each interval.
+        self._postures: Dict[int, LinkPosture] = {}
+        self._postures_at = -1.0
+        # Broadcast fan-out plane: always constructed (the SUBSCRIBE
+        # handler must exist), inert until the first subscriber.
+        self.fanout = BroadcastPlane(self, fanout)
 
     # -- session management -----------------------------------------------------
 
@@ -177,6 +187,7 @@ class THINCServer:
         return session
 
     def detach_client(self, session: THINCSession) -> None:
+        self.fanout.unsubscribe(session)
         self.sessions.remove(session)
         self.governor.forget(session)
 
@@ -221,7 +232,20 @@ class THINCServer:
         self.governor.register(session)
         if self.resilience is not None and frozen.token:
             self.resilience.adopt(session, frozen)
+        if frozen.subscribed:
+            # Re-enroll in the fan-out plane without a refresh — the
+            # restored queue already describes what the client misses.
+            self.fanout.adopt(session, tile_mode=frozen.tile_mode)
         return session
+
+    def _read_screen_pixels(self, rect: Rect):
+        """``rect -> pixels`` over the live screen, for the scale
+        stage's COPY materialisation (tile walls, zoomed views)."""
+        screen = self.driver.screen_drawable
+        if screen is None:
+            raise RuntimeError(
+                "COPY submitted before any screen drawable exists")
+        return screen.fb.read_pixels(rect)
 
     def _submit_refresh(self, session: THINCSession,
                         rect: Optional[Rect] = None,
@@ -273,30 +297,13 @@ class THINCServer:
         linked = 0
         plentiful = 0
         for session in self.sessions:
-            if session.degraded or session.shed_display:
+            link_posture = self._session_posture(session)
+            if link_posture is LinkPosture.DEGRADED:
                 posture = LinkPosture.DEGRADED
                 break
             if session.connection is None:
                 continue
             linked += 1
-            down = session.connection.down
-            monitor = getattr(down, "monitor", None)
-            measured = None
-            if monitor is not None:
-                measured = (monitor.total_bytes(
-                    "server->client", start=now - self.posture_window)
-                    * 8.0 / self.posture_window)
-            # Backlog = commands still queued in the session buffer plus
-            # bytes already flushed into the transport's bounded send
-            # buffer but not yet delivered — both sit in front of the
-            # link.
-            backlog = (session.buffer.pending_bytes()
-                       + getattr(down, "queued_bytes", 0))
-            link_posture = self.encoder_policy.posture_for(
-                measured, down.link.throughput * 8.0, backlog)
-            if link_posture is LinkPosture.DEGRADED:
-                posture = LinkPosture.DEGRADED
-                break
             if link_posture is LinkPosture.PLENTIFUL:
                 plentiful += 1
         if posture is not LinkPosture.DEGRADED and linked \
@@ -305,10 +312,60 @@ class THINCServer:
         self._posture_value = posture
         return posture
 
+    def _session_posture(self, session: THINCSession) -> LinkPosture:
+        """Posture of *one* session's downlink, memoised per interval.
+
+        The prepare plane's ``posture_of`` hook: with fan-out
+        subscribers on heterogeneous links, encoding classes split per
+        subscriber posture instead of all paying for the worst link —
+        one congested 802.11g viewer no longer costs the LAN viewers
+        their lossless stream.  The memo is plane-owned (keyed by
+        session identity, reset each interval), never a session
+        attribute, so the frozen-surface allowlist stays exact.
+        """
+        now = self.loop.now
+        if self._postures_at < 0.0 \
+                or now - self._postures_at >= self.posture_interval:
+            self._postures = {}
+            self._postures_at = now
+        cached = self._postures.get(id(session))
+        if cached is not None:
+            return cached
+        posture = self._probe_link(session, now)
+        self._postures[id(session)] = posture
+        return posture
+
+    def _probe_link(self, session: THINCSession, now: float) -> LinkPosture:
+        if session.degraded or session.shed_display:
+            return LinkPosture.DEGRADED
+        if session.connection is None:
+            return LinkPosture.LOSSLESS
+        down = session.connection.down
+        monitor = getattr(down, "monitor", None)
+        measured = None
+        if monitor is not None:
+            measured = (monitor.total_bytes(
+                "server->client", start=now - self.posture_window)
+                * 8.0 / self.posture_window)
+        # Backlog = commands still queued in the session buffer plus
+        # bytes already flushed into the transport's bounded send
+        # buffer but not yet delivered — both sit in front of the
+        # link.
+        backlog = (session.buffer.pending_bytes()
+                   + getattr(down, "queued_bytes", 0))
+        return self.encoder_policy.posture_for(
+            measured, down.link.throughput * 8.0, backlog)
+
     # -- UpdateSink interface (called by THINCDriver) ------------------------------
 
     def submit(self, command: Command) -> None:
-        self.plane.submit(self.translate.admit(command), self.sessions)
+        command = self.translate.admit(command)
+        if self.fanout.active:
+            # One variants pass covers direct sessions and subscribers
+            # alike; the fan-out plane routes tiles and relays.
+            self.fanout.dispatch(command)
+        else:
+            self.plane.submit(command, self.sessions)
 
     def video_setup(self, stream: VideoStreamInfo) -> None:
         for session in self.sessions:
@@ -374,6 +431,9 @@ class THINCServer:
             # server" when the display size increases).
             self._submit_refresh(session, rect=view)
             return
+        if isinstance(msg, wire.SubscribeMessage):
+            self.fanout.handle_subscribe(session, msg)
+            return
         if isinstance(msg, wire.RefreshRequestMessage):
             screen = self.driver.screen_drawable
             if screen is not None:
@@ -391,6 +451,12 @@ class THINCServer:
                 max(1, min(msg.height, LIMITS.max_viewport_dim)))
             session.scaler = DisplayScaler((self.width, self.height),
                                            session.viewport)
+            # A tile-wall member that resizes has left the wall: its
+            # scaler now views the full desktop, so keeping the tile
+            # route would starve everything outside the old rectangle.
+            # Fall back to mirror membership.
+            if self.fanout.is_tile(session):
+                self.fanout.subscribe(session)
             # The client's framebuffer geometry changes, and it only has
             # a resampled version of the display — push the new geometry
             # and a full-screen refresh (Section 6: "the client requests
@@ -420,6 +486,9 @@ class THINCServer:
         }
         for key, value in self.governor.stats.as_dict().items():
             out[f"governor_{key}"] = value
+        if self.fanout.active or self.fanout.stats["subscribed"]:
+            for key, value in self.fanout.stats.items():
+                out[f"fanout_{key}"] = value
         return out
 
     def pipeline_stats(self) -> Dict[str, Dict[str, float]]:

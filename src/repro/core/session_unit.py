@@ -156,6 +156,8 @@ _F_DEGRADED = 2
 _F_SHED_DISPLAY = 4
 _F_LOG_DROPPED = 8
 _F_QUEUE_DROPPED = 16
+_F_SUBSCRIBED = 32
+_F_TILE = 64
 
 #: ``stats`` keys serialized by _COUNTERS, in pack order (cpu_time is
 #: the trailing double).
@@ -222,6 +224,12 @@ class FrozenSession:
     replay: Tuple[bytes, ...]
     control: Tuple[bytes, ...]
     stats: Dict[str, float]
+    # Broadcast fan-out membership (flag bits in _MARKS; relay-side
+    # state itself is plane-owned and re-derived on thaw): whether the
+    # unit was subscribed, and whether as a tile-wall member (whose
+    # rectangle is exactly ``view_rect``).
+    subscribed: bool = False
+    tile_mode: bool = False
 
     def to_bytes(self) -> bytes:
         """Serialize for a SESSION_TRANSFER frame (bounded by
@@ -238,6 +246,10 @@ class FrozenSession:
             flags |= _F_LOG_DROPPED
         if self.queue_dropped:
             flags |= _F_QUEUE_DROPPED
+        if self.subscribed:
+            flags |= _F_SUBSCRIBED
+        if self.tile_mode:
+            flags |= _F_TILE
         view = self.view_rect
         out = [
             _HEAD.pack(_FROZEN_VERSION, self.token, *self.viewport),
@@ -314,6 +326,8 @@ class FrozenSession:
             shed_display=bool(flags & _F_SHED_DISPLAY),
             log_dropped=bool(flags & _F_LOG_DROPPED),
             queue_dropped=bool(flags & _F_QUEUE_DROPPED),
+            subscribed=bool(flags & _F_SUBSCRIBED),
+            tile_mode=bool(flags & _F_TILE),
             last_seq=last_seq,
             acked_seq=acked_seq,
             pipe_tail=pipe_tail,
@@ -323,6 +337,22 @@ class FrozenSession:
             control=sections[2],
             stats=stats,
         )
+
+
+def _fanout_membership(unit) -> Tuple[bool, bool]:
+    """Freeze-time hand-off to the broadcast plane.
+
+    Force-drains the unit's relay queue into its buffer (the backlog
+    bound must not strand pinned entries on the source shard) and
+    reports ``(subscribed, tile_mode)`` for the frozen flag bits.  The
+    relay queue itself is never serialized — its content just became
+    ordinary buffered commands, and membership is re-derived on thaw.
+    """
+    fanout = getattr(unit.server, "fanout", None)
+    if fanout is None:
+        return False, False
+    fanout.flush(unit)
+    return fanout.is_subscriber(unit), fanout.is_tile(unit)
 
 
 class SessionUnit:
@@ -611,6 +641,7 @@ class SessionUnit:
         if self.connection is not None:
             self.connection.up.disconnect()
         self.detached = True
+        subscribed, tile_mode = _fanout_membership(self)
         guard = self.guard
         return FrozenSession(
             token=guard.token if guard is not None else 0,
@@ -631,6 +662,8 @@ class SessionUnit:
             replay=tuple(self._replay),
             control=tuple(self._control),
             stats=dict(self.stats),
+            subscribed=subscribed,
+            tile_mode=tile_mode,
         )
 
     def forward_to(self, successor: "SessionUnit") -> None:

@@ -43,6 +43,18 @@ def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
         wire.ZoomRequestMessage(Rect(0, 0, 0, 0)),
         wire.HeartbeatMessage(7, 1.5),
         wire.ReconnectRequestMessage(3, 41),
+        # Fan-out control: a mirror subscription, a tile claim, and a
+        # tile claim on the largest legal grid (mutation around the
+        # cols*rows bound and the zeroed-grid rule both start from
+        # valid shapes).
+        wire.SubscribeMessage(wire.SUBSCRIBE_MIRROR),
+        wire.SubscribeMessage(wire.SUBSCRIBE_TILE, 3, 2, 4),
+        wire.SubscribeMessage(wire.SUBSCRIBE_TILE, 64, 64, 64 * 64 - 1),
+        # TILE_ASSIGN is downlink-only: a client sending one is lying
+        # about its role, so this seed exercises the uplink
+        # direction-reject path with valid tile framing to corrupt.
+        wire.TileAssignMessage(width, height,
+                               Rect(0, 0, width // 2, height)),
         # Fabric control frames are shard-to-shard only: a client that
         # sends one is lying about its role, so these seeds exercise
         # the uplink direction-reject path (and give mutation real

@@ -87,6 +87,12 @@ class WireLimits:
     #: a corrupted field from addressing phantom hosts.
     max_shard_id: int = 4096
 
+    #: Most tiles one SUBSCRIBE message may partition the virtual
+    #: display wall into (``cols * rows``).  Real walls are a few dozen
+    #: panels; the cap keeps a hostile subscriber from requesting a
+    #: degenerate one-pixel grid the server would have to carve.
+    max_wall_tiles: int = 4096
+
 
 #: The limits every production parser runs under.
 LIMITS = WireLimits()

@@ -226,6 +226,25 @@ PROTOCOL_SPEC: List[MessageSpec] = [
         "overflow routing.",
         "shard[u16] sessions[u32] queue_bytes[u64] admitting[u8]",
         _wire.ShardAdmissionReportMessage),
+    MessageSpec(
+        "SUBSCRIBE", 36, "c->s", "(extension: fanout)",
+        "Client joins the broadcast fan-out plane: mode 0 mirrors the "
+        "whole desktop (resampled into the session viewport), mode 1 "
+        "claims tile <index> of a cols x rows partition of the virtual "
+        "display wall (cols*rows <= max_wall_tiles; grid fields must "
+        "be zero in mirror mode).  The server answers a tile claim "
+        "with TILE_ASSIGN plus the usual geometry handshake.",
+        "mode[u8] cols[u16] rows[u16] index[u32]",
+        _wire.SubscribeMessage),
+    MessageSpec(
+        "TILE_ASSIGN", 37, "s->c", "(extension: fanout)",
+        "Server grants a tile-wall subscriber its sub-rectangle: the "
+        "virtual wall's full extent plus the tile rect in wall "
+        "coordinates (the tile must lie inside the wall).  The "
+        "session's stream then carries only content clipped to that "
+        "tile, at 1:1 scale.",
+        "wall_w[u16] wall_h[u16] rect[4xu16]",
+        _wire.TileAssignMessage),
 ]
 
 #: Type ids a client may legitimately send to the server.  The

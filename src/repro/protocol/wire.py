@@ -59,6 +59,10 @@ __all__ = [
     "MigrateBeginMessage",
     "MigrateCompleteMessage",
     "ShardAdmissionReportMessage",
+    "SubscribeMessage",
+    "TileAssignMessage",
+    "SUBSCRIBE_MIRROR",
+    "SUBSCRIBE_TILE",
     "ProtocolError",
     "ChecksumError",
     "TruncatedPayloadError",
@@ -145,6 +149,8 @@ _SESSION_TRANSFER = 32
 _MIGRATE_BEGIN = 33
 _MIGRATE_COMPLETE = 34
 _SHARD_ADMISSION = 35
+_SUBSCRIBE = 36
+_TILE_ASSIGN = 37
 
 _INPUT_KINDS = ("mouse-move", "mouse-click", "key")
 
@@ -159,6 +165,14 @@ _ATTACH_DENIED_BODY = struct.Struct(">Bd")
 # Fabric (shard-to-shard) message bodies.
 _MIGRATE_BODY = struct.Struct(">IH")
 _ADMISSION_BODY = struct.Struct(">HIQB")
+
+# Broadcast fan-out control bodies.
+_SUBSCRIBE_BODY = struct.Struct(">BHHI")
+_TILE_ASSIGN_BODY = struct.Struct(">HHHHHH")
+
+# Subscription modes carried by SubscribeMessage.
+SUBSCRIBE_MIRROR = 0  # receive the full desktop (scaled to viewport)
+SUBSCRIBE_TILE = 1  # own one tile of a cols x rows display wall
 
 # Extra bytes a CHECKED wrapper adds around an already-framed message:
 # its own [type u8][len u32] header plus crc32[u32] and seq[u32].
@@ -747,6 +761,93 @@ class ShardAdmissionReportMessage:
                    queue_bytes, bool(admitting))
 
 
+@dataclass(frozen=True)
+class SubscribeMessage:
+    """Client asks to join the broadcast fan-out plane.
+
+    ``mode`` is :data:`SUBSCRIBE_MIRROR` (receive the whole desktop,
+    resampled into the session's viewport) or :data:`SUBSCRIBE_TILE`
+    (own tile ``index`` of a ``cols x rows`` partition of the virtual
+    display wall; the server answers with TILE_ASSIGN plus the usual
+    geometry handshake).  Mirror subscriptions carry zeroed grid
+    fields; tile grids are bounded by ``LIMITS.max_wall_tiles`` so a
+    hostile client cannot demand a degenerate one-pixel carving.
+    """
+
+    mode: int
+    cols: int = 0
+    rows: int = 0
+    index: int = 0
+
+    type_id = _SUBSCRIBE
+
+    def encode_payload(self) -> bytes:
+        return _SUBSCRIBE_BODY.pack(self.mode, self.cols, self.rows,
+                                    self.index)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "SubscribeMessage":
+        _exactly(data, _SUBSCRIBE_BODY.size, "SUBSCRIBE")
+        mode, cols, rows, index = _SUBSCRIBE_BODY.unpack_from(data)
+        if mode not in (SUBSCRIBE_MIRROR, SUBSCRIBE_TILE):
+            raise FieldRangeError(f"SUBSCRIBE mode {mode} is unknown")
+        if mode == SUBSCRIBE_MIRROR:
+            if cols or rows or index:
+                raise FieldRangeError(
+                    "SUBSCRIBE mirror mode carries a tile grid "
+                    f"({cols}x{rows} index {index})")
+        else:
+            if cols < 1 or rows < 1:
+                raise FieldRangeError(
+                    f"SUBSCRIBE tile grid {cols}x{rows} is empty")
+            if cols * rows > LIMITS.max_wall_tiles:
+                raise FieldRangeError(
+                    f"SUBSCRIBE tile grid {cols}x{rows} exceeds "
+                    f"{LIMITS.max_wall_tiles} tiles")
+            if index >= cols * rows:
+                raise FieldRangeError(
+                    f"SUBSCRIBE tile index {index} outside "
+                    f"{cols}x{rows} grid")
+        return cls(mode, cols, rows, index)
+
+
+@dataclass(frozen=True)
+class TileAssignMessage:
+    """Server assigns a tile-wall subscriber its sub-rectangle.
+
+    ``wall_w``/``wall_h`` are the virtual wall's full extent (the
+    server framebuffer) and ``rect`` the subscriber's tile in wall
+    coordinates — everything a client needs to place its panel and map
+    local pixels back onto the wall.
+    """
+
+    wall_w: int
+    wall_h: int
+    rect: Rect
+
+    type_id = _TILE_ASSIGN
+
+    def encode_payload(self) -> bytes:
+        return _TILE_ASSIGN_BODY.pack(self.wall_w, self.wall_h,
+                                      *self.rect.as_tuple())
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "TileAssignMessage":
+        _exactly(data, _TILE_ASSIGN_BODY.size, "TILE_ASSIGN")
+        wall_w, wall_h, x, y, w, h = _TILE_ASSIGN_BODY.unpack_from(data)
+        if not (1 <= wall_w <= LIMITS.max_viewport_dim
+                and 1 <= wall_h <= LIMITS.max_viewport_dim):
+            raise FieldRangeError(
+                f"TILE_ASSIGN wall {wall_w}x{wall_h} out of range")
+        if w < 1 or h < 1:
+            raise FieldRangeError("TILE_ASSIGN tile is empty")
+        if x + w > wall_w or y + h > wall_h:
+            raise FieldRangeError(
+                f"TILE_ASSIGN tile {x},{y} {w}x{h} leaves the "
+                f"{wall_w}x{wall_h} wall")
+        return cls(wall_w, wall_h, Rect(x, y, w, h))
+
+
 _CONTROL_TYPES = {
     cls.type_id: cls
     for cls in (VideoSetupMessage, VideoMoveMessage, VideoTeardownMessage,
@@ -757,7 +858,8 @@ _CONTROL_TYPES = {
                 ReconnectAcceptMessage, ReconnectDeniedMessage,
                 AttachDeniedMessage, SessionTransferMessage,
                 MigrateBeginMessage, MigrateCompleteMessage,
-                ShardAdmissionReportMessage)
+                ShardAdmissionReportMessage, SubscribeMessage,
+                TileAssignMessage)
 }
 
 Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
@@ -767,7 +869,8 @@ Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
                 ReconnectAcceptMessage, ReconnectDeniedMessage,
                 AttachDeniedMessage, SessionTransferMessage,
                 MigrateBeginMessage, MigrateCompleteMessage,
-                ShardAdmissionReportMessage]
+                ShardAdmissionReportMessage, SubscribeMessage,
+                TileAssignMessage]
 
 
 def encode_message(msg: Message) -> bytes:

@@ -1,0 +1,165 @@
+"""Slow-subscriber ladder and prepare-cache pinning.
+
+Satellite of the fan-out PR: a congested subscriber climbs
+coalesce-to-refresh → drop-to-keyframe → evict, and every relay-held
+entry keeps its prepare-cache slot pinned past LRU eviction (audited
+by the sanitizer invariant) until delivered or dropped.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitizer
+from repro.core.fanout import FanoutConfig
+from repro.net import LAN_DESKTOP
+from repro.region import Rect
+from tests.fanout.rig import make_broadcast_rig
+from tests.helpers import assert_pixel_identical
+
+#: Slow enough that one screen refresh takes seconds of simulated
+#: time, so relay queues actually back up behind the buffer bound.
+TRICKLE = replace(LAN_DESKTOP, bandwidth_bps=64_000)
+
+
+@pytest.fixture
+def armed_sanitizer():
+    was = sanitizer.enabled()
+    sanitizer.enable()
+    try:
+        yield
+    finally:
+        if not was:
+            sanitizer.disable()
+
+
+def _congest(loop, ws, rng, until):
+    """Park an incompressible full-screen image in the subscriber's
+    buffer: run until it has cleared the prepare stage but cannot clear
+    the trickle link, so ``pending_bytes`` stays positive for seconds
+    of simulated time."""
+    W, H = ws.screen.bounds.width, ws.screen.bounds.height
+    img = rng.integers(0, 256, (H, W, 4), dtype=np.uint8)
+    ws.put_image(ws.screen, Rect(0, 0, W, H), img)
+    loop.run_until(until)
+
+
+def _burst(ws, rng, count, size=32):
+    """Distinct full-alpha random images: large, uncacheable payloads,
+    submitted back-to-back in zero simulated time."""
+    W, H = ws.screen.bounds.width, ws.screen.bounds.height
+    for _ in range(count):
+        x = int(rng.integers(0, W - size))
+        y = int(rng.integers(0, H - size))
+        img = rng.integers(0, 256, (size, size, 4), dtype=np.uint8)
+        ws.put_image(ws.screen, Rect(x, y, size, size), img)
+
+
+class TestPrepareCachePins:
+
+    def test_pinned_entries_survive_lru_eviction(self, armed_sanitizer):
+        loop, mon, server, ws, clients = make_broadcast_rig(
+            1, link=TRICKLE, send_buffer=4096, prepare_cache_entries=4,
+            fanout=FanoutConfig(subscriber_backlog_bytes=0,
+                                relay_bytes=1 << 30))
+        rng = np.random.default_rng(3)
+        _congest(loop, ws, rng, until=0.2)
+        # With the buffer congested and a zero backlog allowance, every
+        # subsequent command is relay-held and pinned.  12 distinct
+        # draws versus a 4-entry cache: only pins keep them alive.
+        _burst(ws, rng, 12)
+        session = server.sessions[0]
+        # Translation may band one image into several commands; the
+        # structural facts are: everything is held, every held entry
+        # is pinned, and the pins carry the cache past its LRU bound.
+        depth = server.fanout.relay_depth(session)
+        assert depth >= 12
+        assert server.plane.pinned_entries() == depth
+        assert server.plane.cache_size() > server.plane.cache_entries
+        # The sanitizer invariant holds while over-bound (it ran on
+        # every relay mutation above; this is the explicit audit).
+        sanitizer.check_prepare_pins(server.plane)
+
+        # Drain the trickle link: pins must be released and the cache
+        # must fall back under its configured bound.
+        loop.run_until(60.0)
+        assert server.fanout.relay_depth(session) == 0
+        assert server.plane.pinned_entries() == 0
+        assert server.plane.cache_size() <= server.plane.cache_entries
+        assert_pixel_identical(clients[0], ws)
+
+    def test_unsubscribe_releases_pins(self, armed_sanitizer):
+        loop, mon, server, ws, clients = make_broadcast_rig(
+            1, link=TRICKLE, send_buffer=4096,
+            fanout=FanoutConfig(subscriber_backlog_bytes=0,
+                                relay_bytes=1 << 30))
+        rng = np.random.default_rng(4)
+        _congest(loop, ws, rng, until=0.2)
+        _burst(ws, rng, 8)
+        session = server.sessions[0]
+        assert server.plane.pinned_entries() == server.fanout.relay_depth(
+            session) >= 8
+        server.detach_client(session)
+        assert server.plane.pinned_entries() == 0
+        sanitizer.check_prepare_pins(server.plane)
+
+
+class TestSlowSubscriberLadder:
+    """Bursts of two ~6.6 KiB images against a 9 KiB relay bound: the
+    second image of each burst tips the queue over, so each burst fires
+    exactly one rung."""
+
+    def _congested_rig(self, cooldown=30.0):
+        return make_broadcast_rig(
+            1, link=TRICKLE, send_buffer=4096,
+            fanout=FanoutConfig(relay_bytes=9000,
+                                subscriber_backlog_bytes=0,
+                                ladder_cooldown=cooldown))
+
+    def test_ladder_escalates_to_eviction(self):
+        loop, mon, server, ws, clients = self._congested_rig()
+        rng = np.random.default_rng(5)
+        stats = server.fanout.stats
+        _congest(loop, ws, rng, until=0.2)
+        _burst(ws, rng, 2, size=40)  # rung 1
+        assert stats["coalesces"] == 1 and stats["keyframes"] == 0
+        _burst(ws, rng, 2, size=40)  # within cooldown: rung 2
+        assert stats["keyframes"] == 1 and stats["evictions"] == 0
+        # Rung 2 dropped the buffered queue; let its keyframe land in
+        # the (still congested) buffer before the final burst.
+        loop.run_until(0.4)
+        session = server.sessions[0]
+        _burst(ws, rng, 2, size=40)  # rung 3: governor eviction
+        assert stats["evictions"] == 1
+        assert session not in server.sessions
+        assert not server.fanout.is_subscriber(session)
+        assert server.plane.pinned_entries() == 0
+
+    def test_quiet_subscriber_deescalates(self):
+        loop, mon, server, ws, clients = self._congested_rig(cooldown=0.5)
+        rng = np.random.default_rng(6)
+        stats = server.fanout.stats
+        _congest(loop, ws, rng, until=0.2)
+        _burst(ws, rng, 2, size=40)
+        assert stats["coalesces"] == 1
+        # Let the link recover well past the cooldown, then congest
+        # again: the ladder restarts at rung 1 instead of escalating.
+        loop.run_until(25.0)
+        _congest(loop, ws, rng, until=25.2)
+        _burst(ws, rng, 2, size=40)
+        assert stats["coalesces"] == 2
+        assert stats["keyframes"] == 0 and stats["evictions"] == 0
+
+    def test_survivor_is_exact_after_recovery(self):
+        """Rungs 1-2 end in refreshes of live content: once congestion
+        clears, the survivor converges to the unicast-exact screen."""
+        loop, mon, server, ws, clients = self._congested_rig()
+        rng = np.random.default_rng(7)
+        _congest(loop, ws, rng, until=0.2)
+        _burst(ws, rng, 2, size=40)
+        _burst(ws, rng, 2, size=40)
+        assert server.fanout.stats["keyframes"] == 1
+        assert len(server.sessions) == 1  # survived rung 2
+        loop.run_until(90.0)
+        assert_pixel_identical(clients[0], ws)

@@ -1,0 +1,127 @@
+"""Cluster migration × fan-out: subscriptions survive the move.
+
+Satellite of the fan-out PR: a *subscribed* session migrated between
+shards mid-workload re-enrolls in the target shard's broadcast plane
+(mirror or tile, per the frozen flags) and ends pixel-identical to an
+uninterrupted unicast twin.
+
+``make chaos`` runs this file at THINC_CHAOS_SEED 11, 23 and 47 with
+the queue sanitizer armed, layering a random fault schedule on top of
+the migration exactly as the cluster suite does.
+"""
+
+import os
+
+import numpy as np
+
+from repro.net.faults import FaultPlan
+from repro.protocol import wire
+
+from tests.helpers import assert_pixel_identical, make_shard_rig
+
+SETTLE = 12.0
+
+CHAOS_SEED = int(os.environ.get("THINC_CHAOS_SEED", "0"))
+
+
+def _subscribe_and_migrate(loop, coord, rcs, mode=wire.SUBSCRIBE_MIRROR,
+                           cols=0, rows=0, index=0, settle=SETTLE):
+    """Attach, subscribe the first client, migrate it at t=1.0."""
+    loop.run_until(0.6)
+    token = rcs[0].token
+    assert token, "client never attached"
+    rcs[0].client.request_subscribe(mode, cols, rows, index)
+    loop.run_until(1.0)
+    source = coord.route_token(token)
+    assert coord.shards[source].fanout.stats["subscribed"] >= 1
+    target = (source + 1) % len(coord.shards)
+    successor = coord.migrate(token, target)
+    loop.run_until(settle)
+    return token, source, target, successor
+
+
+class TestMigrationWithFanout:
+
+    def test_mirror_subscription_survives_migration(self):
+        loop, coord, screens, rcs = make_shard_rig(shards=2, clients=2)
+        token, source, target, successor = _subscribe_and_migrate(
+            loop, coord, rcs)
+        # The successor is enrolled in the *target* shard's plane.
+        assert coord.shards[target].fanout.is_subscriber(successor)
+        assert not coord.shards[target].fanout.is_tile(successor)
+        # Pixel-identical to the target shard's live screen and to the
+        # unicast twin that never moved (mirrored workloads).
+        assert_pixel_identical(rcs[0].client, screens[target])
+        assert_pixel_identical(rcs[1].client, screens[
+            coord.route_token(rcs[1].token)])
+        assert np.array_equal(rcs[0].client.fb.data, rcs[1].client.fb.data)
+
+    def test_tile_subscription_survives_migration(self):
+        loop, coord, screens, rcs = make_shard_rig(shards=2, clients=1)
+        token, source, target, successor = _subscribe_and_migrate(
+            loop, coord, rcs, mode=wire.SUBSCRIBE_TILE,
+            cols=3, rows=2, index=4, settle=SETTLE + 4.0)
+        fanout = coord.shards[target].fanout
+        assert fanout.is_subscriber(successor)
+        assert fanout.is_tile(successor)
+        tile = fanout.tile_of(successor)
+        assert tile == successor.scaler.view
+        # The tile client's framebuffer equals its crop of the target
+        # shard's screen.
+        fb = rcs[0].client.fb
+        assert fb.data.shape == (tile.height, tile.width, 4)
+        assert np.array_equal(
+            fb.data,
+            screens[target].screen.fb.data[tile.y:tile.y + tile.height,
+                                           tile.x:tile.x + tile.width])
+
+    def test_source_shard_forgets_the_subscriber(self):
+        loop, coord, screens, rcs = make_shard_rig(shards=2, clients=1)
+        token, source, target, successor = _subscribe_and_migrate(
+            loop, coord, rcs)
+        src_fanout = coord.shards[source].fanout
+        assert src_fanout.stats["unsubscribed"] == \
+            src_fanout.stats["subscribed"]
+        assert len(src_fanout.subscribers()) == 0
+        assert coord.shards[source].plane.pinned_entries() == 0
+
+
+class TestMigrationFanoutUnderChaos:
+    """Chaos twin: subscribed + migrated + faulted vs untouched."""
+
+    def test_subscribed_migration_under_chaos_matches_twin(self):
+        plan = FaultPlan.random(seed=1000 + CHAOS_SEED, horizon=2.0)
+        loop, coord, screens, rcs = make_shard_rig(
+            shards=2, clients=2, plan=plan)
+        # Attachment itself may be delayed well past the fault horizon
+        # by the schedule (partitions + flap-damped redial backoff).
+        while not rcs[0].token and loop.now < 12.0:
+            loop.run_until(loop.now + 0.5)
+        token = rcs[0].token
+        assert token, "client never attached"
+
+        def resubscribe():
+            # Any individual SUBSCRIBE may be eaten by a fault event,
+            # so re-send it periodically until past the fault horizon
+            # (re-subscribing in the same mode is idempotent).  A send
+            # on a mid-redial connection is itself a fault casualty.
+            try:
+                rcs[0].client.request_subscribe()
+            except Exception:
+                pass
+
+        for delay in (0.0, 0.5, 1.0, 1.5, 2.0):
+            loop.schedule_at(loop.now + 0.01 + delay, resubscribe)
+        loop.run_until(loop.now + 2.6)
+        source = coord.route_token(token)
+        assert coord.shards[source].fanout.stats["subscribed"] >= 1
+        target = (source + 1) % len(coord.shards)
+        successor = coord.migrate(token, target)
+        loop.run_until(loop.now + SETTLE + 4.0)
+        assert coord.route_token(token) == target
+        live = coord.shards[target].resilience.guards[token].session
+        assert coord.shards[target].fanout.is_subscriber(live)
+        assert_pixel_identical(rcs[0].client, screens[target])
+        assert np.array_equal(rcs[0].client.fb.data, rcs[1].client.fb.data)
+        for shard in coord.shards:
+            assert shard.plane.pinned_entries() == 0

@@ -88,6 +88,25 @@ STRATEGIES = {
     wire.ShardAdmissionReportMessage: st.builds(
         wire.ShardAdmissionReportMessage, shard_ids, u32,
         st.integers(0, 2 ** 64 - 1), st.booleans()),
+    wire.SubscribeMessage: st.one_of(
+        st.just(wire.SubscribeMessage(wire.SUBSCRIBE_MIRROR)),
+        st.tuples(st.integers(1, 64), st.integers(1, 64)).flatmap(
+            lambda grid: st.builds(
+                wire.SubscribeMessage, st.just(wire.SUBSCRIBE_TILE),
+                st.just(grid[0]), st.just(grid[1]),
+                st.integers(0, grid[0] * grid[1] - 1)))),
+    wire.TileAssignMessage: st.tuples(
+        viewport_dims, viewport_dims).flatmap(
+            lambda wall: st.tuples(
+                st.integers(0, wall[0] - 1),
+                st.integers(0, wall[1] - 1)).flatmap(
+                    lambda origin: st.builds(
+                        wire.TileAssignMessage,
+                        st.just(wall[0]), st.just(wall[1]),
+                        st.builds(
+                            Rect, st.just(origin[0]), st.just(origin[1]),
+                            st.integers(1, wall[0] - origin[0]),
+                            st.integers(1, wall[1] - origin[1]))))),
 }
 STRATEGIES[wire.CheckedFrame] = st.builds(
     wire.CheckedFrame, u32, st.one_of(*STRATEGIES.values()))
