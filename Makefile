@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint analyze contracts-doc sanitize chaos fuzz fuzz-smoke cluster-smoke fanout-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
+.PHONY: install test lint analyze contracts-doc sanitize chaos fuzz fuzz-smoke cluster-smoke fanout-smoke qos-smoke ci bench bench-smoke bench-figures figures figures-paper protocol-doc examples clean
 
 install:
 	$(PY) setup.py develop
@@ -46,6 +46,7 @@ chaos:
 	  THINC_SANITIZE=1 THINC_CHAOS_SEED=$$seed PYTHONPATH=src \
 	  $(PY) -m pytest tests/net/test_faults.py \
 	    tests/core/test_resilience.py \
+	    tests/core/test_qos_chaos.py \
 	    tests/cluster/test_migration.py \
 	    tests/fanout/test_migration_fanout.py -x -q || exit 1; \
 	done
@@ -76,17 +77,27 @@ ci: lint analyze
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
 # Micro-performance harness: region ops, queue churn, codec plane,
-# pipeline throughput, shard-fabric scaling/migration, and the PR-9
-# broadcast fan-out / tile-wall numbers.  Writes BENCH_PR9.json at the
-# repo root (see docs/PERF.md).
+# pipeline throughput, shard-fabric scaling/migration, the PR-9
+# broadcast fan-out / tile-wall numbers, and the PR-10 adaptive-QoS
+# contention ladder.  Writes BENCH_PR10.json at the repo root (see
+# docs/PERF.md).
 bench:
-	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR9.json
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --out BENCH_PR10.json
 
 # Fan-out smoke: a quick 20-subscriber broadcast + tile-wall run that
 # must hold the < 3x prepare-CPU gate, then a schema check of the
-# committed BENCH_PR9.json.  See docs/FANOUT.md.
+# committed BENCH_PR10.json.  See docs/FANOUT.md.
 fanout-smoke:
 	PYTHONPATH=src $(PY) -m repro.bench.microperf --fanout-smoke
+
+# QoS smoke: the acceptance scenario at four cross-traffic duty
+# cycles.  Fails unless every contended level holds the < 2x
+# interactive-latency gate, the heavy level engages the ladder, the
+# uncontended twin stays byte-identical to the fixed-rate path, and
+# the heavy run recovers pixel-exact to rung 0; then schema-checks the
+# committed BENCH_PR10.json.  See docs/QOS.md.
+qos-smoke:
+	PYTHONPATH=src $(PY) -m repro.bench.microperf --qos-smoke
 
 # CI smoke mode: small workloads, then schema-validate the report.
 bench-smoke:

@@ -1,7 +1,7 @@
 """Persistent micro-performance harness (``make bench``).
 
 Times the layers the PR-3 geometry/queue engine rebuilt and later PRs
-extended, and writes a machine-readable report (``BENCH_PR8.json`` at
+extended, and writes a machine-readable report (``BENCH_PR10.json`` at
 the repo root) continuing the benchmark trajectory future PRs are
 gated on:
 
@@ -26,7 +26,12 @@ gated on:
   command throughput for the same session population on one shard vs
   two (simulated seconds — each shard owns a serial prepare CPU, so
   the scaling number is a property of the architecture, not the host),
-  plus the client-observed pause of one live migration.
+  plus the client-observed pause of one live migration;
+* **adaptive QoS** — the PR-10 degradation ladder on a 256 kbit/s
+  contended link: interactive input-to-update latency against the
+  uncontended twin at four cross-traffic duty cycles (the < 2x
+  interactivity gate), ladder engagement counters, and the
+  byte-identity / pixel-exact-recovery fidelity flags.
 
 Run ``python -m repro.bench.microperf --quick`` for the CI smoke mode,
 and ``--validate PATH`` to schema-check an emitted report.  See
@@ -554,6 +559,174 @@ def _bench_fanout(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+# -- QoS workloads ---------------------------------------------------------
+
+#: The PR-10 acceptance link: a 256 kbit/s thin access pipe.
+_QOS_BPS = 256e3
+#: Cross-traffic plans of increasing duty cycle as (name, burst_s,
+#: period_s).  Each burst holds the delivery head with full drops, so
+#: the un-acked window throttles the sender for the burst's duration —
+#: duty cycle, not drop probability, sets the contention level.
+_QOS_PLANS = (("light", 0.05, 0.30),
+              ("moderate", 0.09, 0.24),
+              ("heavy", 0.12, 0.20))
+_QOS_PLAN_SEED = 11
+#: The PR-10 acceptance gate: mean interactive input-to-update latency
+#: on a contended link stays within 2x the uncontended run while the
+#: ladder sheds video, at every contention level.
+_QOS_LATENCY_RATIO_BOUND = 2.0
+
+
+def _qos_scenario(plan, qos_cfg, end=3.5):
+    """The adaptive-QoS acceptance scenario: a 32x18 @ 24 fps clip
+    (~166 kbit/s offered, 0.65 of the link) plus typing-echo RAW
+    patches on the 256 kbit/s pipe, optionally under a cross-traffic
+    fault plan.  Returns per-op latencies plus the ladder counters."""
+    from dataclasses import replace as _replace
+
+    from ..core import THINCClient, THINCServer
+    from ..display import WindowServer
+    from ..net import Connection, EventLoop, PacketMonitor
+    from ..net.faults import FaultyConnection
+    from ..net.link import PDA_80211G
+    from ..video.stream import SyntheticVideoClip
+
+    link = _replace(PDA_80211G, name="256k thin", bandwidth_bps=_QOS_BPS)
+    loop = EventLoop()
+    mon = PacketMonitor()
+    if plan is not None:
+        conn = FaultyConnection(loop, link, monitor=mon, plan=plan)
+    else:
+        conn = Connection(loop, link, monitor=mon)
+    server = THINCServer(loop, 96, 64, qos=qos_cfg)
+    ws = WindowServer(96, 64, driver=server.driver, clock=loop.clock)
+    server.attach_client(conn)
+    client = THINCClient(loop, conn)
+
+    clip = SyntheticVideoClip(width=32, height=18, fps=24, duration=end)
+    holder = {}
+
+    def begin():
+        holder["stream"] = ws.video_create_stream(
+            "YV12", clip.width, clip.height, Rect(48, 24, 48, 32))
+        put(0)
+
+    def put(i):
+        if i >= clip.frame_count:
+            ws.video_destroy_stream(holder["stream"])
+            return
+        ws.video_put_frame(holder["stream"], clip.yv12_frame(i))
+        loop.schedule(clip.frame_interval, lambda: put(i + 1))
+
+    loop.schedule_at(0.0, begin)
+
+    times, arrivals, covered = [], [], {}
+    orig = client._execute
+
+    def spy(cmd, now):
+        # Typing-echo patches only (12x12 RAWs left of the video
+        # area; recovery refreshes land at x >= 48).  put_image
+        # rasterises in scan-line chunks, so an op arrives once its
+        # whole tile has been painted.
+        if cmd.kind == "raw" and cmd.dest.width == 12 and cmd.dest.x < 48:
+            tile = (cmd.dest.x // 12, cmd.dest.y // 12)
+            covered[tile] = covered.get(tile, 0) + cmd.dest.area
+            if covered[tile] >= 144:
+                covered[tile] = 0
+                arrivals.append(now)
+        orig(cmd, now)
+
+    client._execute = spy
+    rng = np.random.default_rng(5)
+    t, idx = 0.1, 0
+    while t < end - 0.3:
+        x, y = (idx % 4) * 12, (idx // 4) * 12
+        patch = rng.integers(0, 256, (12, 12, 4), dtype=np.uint8)
+        patch[..., 3] = 255
+
+        def op(x=x, y=y, patch=patch):
+            client.send_input("key", x, y)
+            ws.put_image(ws.screen, Rect(x, y, 12, 12), patch)
+
+        loop.schedule_at(t, op)
+        times.append(t)
+        t += 0.16
+        idx += 1
+    loop.run_until_idle(max_time=300)
+
+    latencies = [a - s for s, a in zip(times, arrivals)]
+    stats = server.stats
+    return {
+        "ops": len(times),
+        "arrived": len(arrivals),
+        "mean_latency_s": (sum(latencies) / len(latencies)
+                           if latencies else float("inf")),
+        "rungs_down": stats.get("qos_rungs_down", 0),
+        "rungs_up": stats.get("qos_rungs_up", 0),
+        "recoveries": stats.get("qos_recoveries", 0),
+        "frames_dropped": stats.get("qos_frames_dropped", 0),
+        "frames_degraded": stats.get("qos_frames_degraded", 0),
+        "vframe_bytes": client.stats["bytes_by_kind"].get("vframe", 0),
+        "final_rung": server.sessions[0].qos_rung,
+        "trace": [(r.time, r.direction, r.size) for r in mon.records],
+        "fb": client.fb,
+        "pixel_identical": (client.fb is not None
+                            and client.fb.same_as(ws.screen.fb)),
+    }
+
+
+def _bench_qos(quick: bool) -> Dict[str, Dict[str, float]]:
+    """The PR-10 adaptive-QoS plane: the acceptance scenario at four
+    contention levels.  ``clean`` doubles as the latency baseline and
+    the byte-identity fidelity check against a fixed-rate twin; the
+    ``heavy`` level must engage the ladder and still ramp back to a
+    pixel-exact rung-0 finish."""
+    from ..core.qos import QosConfig
+    from ..net.faults import FaultPlan
+
+    start = time.perf_counter()
+
+    def cfg():
+        return QosConfig(seed=7, recover_polls=3, recover_jitter=1)
+
+    fixed = _qos_scenario(None, None)       # the fixed-rate twin
+    clean = _qos_scenario(None, cfg())
+    byte_identical = (clean["trace"] == fixed["trace"]
+                      and clean["fb"] is not None
+                      and fixed["fb"] is not None
+                      and clean["fb"].same_as(fixed["fb"]))
+
+    def entry(res):
+        return {
+            "ops": float(res["ops"]),
+            "mean_latency_s": res["mean_latency_s"],
+            "latency_ratio": res["mean_latency_s"] / clean["mean_latency_s"],
+            "rungs_down": float(res["rungs_down"]),
+            "rungs_up": float(res["rungs_up"]),
+            "recoveries": float(res["recoveries"]),
+            "frames_dropped": float(res["frames_dropped"]),
+            "frames_degraded": float(res["frames_degraded"]),
+            "vframe_bytes": float(res["vframe_bytes"]),
+        }
+
+    section = {"clean": entry(clean)}
+    heavy = clean
+    for name, burst, period in _QOS_PLANS:
+        plan = FaultPlan.bursty_cross_traffic(
+            _QOS_PLAN_SEED, start=0.3, duration=1.2,
+            period=period, burst=burst, drop_rate=1.0)
+        heavy = _qos_scenario(plan, cfg())
+        section[name] = entry(heavy)
+    section["fidelity"] = {
+        "byte_identical_uncontended": float(byte_identical),
+        "recovered_pixel_exact": float(heavy["pixel_identical"]
+                                       and heavy["final_rung"] == 0),
+        "final_rung": float(heavy["final_rung"]),
+        "wall_s": time.perf_counter() - start,
+    }
+    return section
+
+
 # -- codec workloads -------------------------------------------------------
 
 _PAETH_DIMS = ((96, 128), (32, 48))    # (h, w): full, quick
@@ -805,7 +978,7 @@ def run_suite(quick: bool = False) -> Dict:
     report = {
         "schema": SCHEMA,
         "version": SCHEMA_VERSION,
-        "pr": "PR9",
+        "pr": "PR10",
         "quick": quick,
         "python": sys.version.split()[0],
         "params": {
@@ -824,6 +997,7 @@ def run_suite(quick: bool = False) -> Dict:
             "pipeline": _bench_pipeline(quick),
             "fabric": _bench_fabric(quick),
             "fanout": _bench_fanout(quick),
+            "qos": _bench_qos(quick),
         },
     }
     return report
@@ -858,6 +1032,17 @@ _FANOUT_KEYS = {
 }
 #: The PR-9 acceptance gate on the broadcast section.
 _FANOUT_CPU_RATIO_BOUND = 3.0
+_QOS_LEVEL_KEYS = ("ops", "mean_latency_s", "latency_ratio", "rungs_down",
+                   "rungs_up", "recoveries", "frames_dropped",
+                   "frames_degraded", "vframe_bytes")
+_QOS_KEYS = {
+    "clean": _QOS_LEVEL_KEYS,
+    "light": _QOS_LEVEL_KEYS,
+    "moderate": _QOS_LEVEL_KEYS,
+    "heavy": _QOS_LEVEL_KEYS,
+    "fidelity": ("byte_identical_uncontended", "recovered_pixel_exact",
+                 "final_rung", "wall_s"),
+}
 
 
 def validate_report(report) -> List[str]:
@@ -952,6 +1137,34 @@ def validate_report(report) -> List[str]:
                     "results.fanout.broadcast.cpu_ratio: "
                     f"{ratio:.2f} breaches the < "
                     f"{_FANOUT_CPU_RATIO_BOUND:g}x fan-out gate")
+    qos = _need(results, "qos", dict, "results")
+    if qos is not None:
+        for name, fields in _QOS_KEYS.items():
+            section = _need(qos, name, dict, "results.qos")
+            if section is None:
+                continue
+            for field in fields:
+                _need(section, field, (int, float),
+                      f"results.qos.{name}")
+        for name in ("light", "moderate", "heavy"):
+            section = qos.get(name)
+            if not isinstance(section, dict):
+                continue
+            ratio = section.get("latency_ratio")
+            if isinstance(ratio, (int, float)) and \
+                    ratio >= _QOS_LATENCY_RATIO_BOUND:
+                problems.append(
+                    f"results.qos.{name}.latency_ratio: "
+                    f"{ratio:.2f} breaches the < "
+                    f"{_QOS_LATENCY_RATIO_BOUND:g}x interactivity gate")
+        fidelity = qos.get("fidelity")
+        if isinstance(fidelity, dict):
+            for flag in ("byte_identical_uncontended",
+                         "recovered_pixel_exact"):
+                value = fidelity.get(flag)
+                if isinstance(value, (int, float)) and value != 1:
+                    problems.append(
+                        f"results.qos.fidelity.{flag}: expected 1")
     return problems
 
 
@@ -1012,6 +1225,24 @@ def _summarize(report: Dict) -> str:
         f"{tile_wall['rows']:.0f} wall"
         f"  cpu {tile_wall['cpu_s']:.4f}s sim"
         f"  delivered {tile_wall['delivered']:.0f} msgs")
+    qos = results["qos"]
+    for name in ("clean", "light", "moderate", "heavy"):
+        entry = qos[name]
+        lines.append(
+            f"qos.{name:<17} latency "
+            f"{entry['mean_latency_s'] * 1000:.1f}ms sim"
+            f"  ratio {entry['latency_ratio']:.2f}x"
+            f" (< {_QOS_LATENCY_RATIO_BOUND:g} gate)"
+            f"  rungs down/up {entry['rungs_down']:.0f}"
+            f"/{entry['rungs_up']:.0f}"
+            f"  video shed "
+            f"{entry['frames_dropped'] + entry['frames_degraded']:.0f}")
+    fid = qos["fidelity"]
+    lines.append(
+        f"qos.fidelity          uncontended byte-identical="
+        f"{bool(fid['byte_identical_uncontended'])}"
+        f"  recovered pixel-exact={bool(fid['recovered_pixel_exact'])}"
+        f"  final rung {fid['final_rung']:.0f}")
     return "\n".join(lines)
 
 
@@ -1021,14 +1252,66 @@ def main(argv=None) -> int:
         description="THINC micro-performance harness (see docs/PERF.md)")
     parser.add_argument("--quick", action="store_true",
                         help="small workloads for the CI smoke job")
-    parser.add_argument("--out", default="BENCH_PR9.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--validate", metavar="PATH",
                         help="schema-check an existing report and exit")
     parser.add_argument("--fanout-smoke", action="store_true",
                         help="quick fan-out-only run (20 subscribers) plus "
                              "a schema check of the committed report")
+    parser.add_argument("--qos-smoke", action="store_true",
+                        help="QoS-only acceptance run (four contention "
+                             "levels against the 2x interactivity gate) "
+                             "plus a schema check of the committed report")
     args = parser.parse_args(argv)
+
+    if args.qos_smoke:
+        section = _bench_qos(quick=True)
+        for name in ("clean", "light", "moderate", "heavy"):
+            entry = section[name]
+            print(f"qos.{name:<9} latency "
+                  f"{entry['mean_latency_s'] * 1000:.1f}ms sim"
+                  f"  ratio {entry['latency_ratio']:.2f}x"
+                  f"  rungs down/up {entry['rungs_down']:.0f}"
+                  f"/{entry['rungs_up']:.0f}"
+                  f"  video shed {entry['frames_dropped'] + entry['frames_degraded']:.0f}")
+        fid = section["fidelity"]
+        print(f"qos.fidelity  uncontended byte-identical="
+              f"{bool(fid['byte_identical_uncontended'])}"
+              f"  recovered pixel-exact="
+              f"{bool(fid['recovered_pixel_exact'])}"
+              f"  final rung {fid['final_rung']:.0f}")
+        failures = []
+        for name in ("light", "moderate", "heavy"):
+            ratio = section[name]["latency_ratio"]
+            if ratio >= _QOS_LATENCY_RATIO_BOUND:
+                failures.append(f"{name}: latency_ratio {ratio:.2f} >= "
+                                f"{_QOS_LATENCY_RATIO_BOUND:g}")
+        if section["heavy"]["rungs_down"] < 1:
+            failures.append("heavy: the ladder never engaged")
+        if fid["byte_identical_uncontended"] != 1:
+            failures.append("clean: qos-on run diverged from the "
+                            "fixed-rate twin on the wire")
+        if fid["recovered_pixel_exact"] != 1:
+            failures.append("heavy: no pixel-exact recovery to rung 0")
+        if failures:
+            for failure in failures:
+                print(f"qos smoke: {failure}", file=sys.stderr)
+            return 1
+        try:
+            with open(args.out) as handle:
+                report = json.load(handle)
+        except OSError as exc:
+            print(f"qos smoke: cannot read {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.out}: valid {SCHEMA} v{SCHEMA_VERSION} report")
+        return 0
 
     if args.fanout_smoke:
         section = _bench_fanout(quick=True)

@@ -114,6 +114,9 @@ class THINCClient:
         self.cursor_hotspot: Tuple[int, int] = (0, 0)
         self.video_streams: Dict[int, wire.VideoSetupMessage] = {}
         self.video_stats: Dict[int, VideoStreamStats] = {}
+        # Latest QoS descriptor per stream: which degradation rung the
+        # server's QoS plane is feeding this client at (repro.core.qos).
+        self.video_quality: Dict[int, wire.VideoQualityMessage] = {}
         # Display-wall membership, set by a TILE_ASSIGN from the server
         # after a tile-mode SUBSCRIBE.
         self.tile_assignment: Optional[wire.TileAssignMessage] = None
@@ -197,6 +200,52 @@ class THINCClient:
         self.connection.up.write(
             wire.encode_message(wire.ZoomRequestMessage(rect)))
 
+    def send_qos_report(self, stream_id: int, units_total: int,
+                        ideal_duration: float,
+                        start_offset: float = 0.25) \
+            -> wire.QosReportMessage:
+        """Measure playback health and report it upstream.
+
+        The paper's quality measures (Section 8.2) are computed where
+        they are observable — at the client — from the arrival records
+        this client already keeps: video slow-motion quality from the
+        stream's frame span, audio quality from chunk timeliness, and
+        A/V sync skew from the delivery-delay difference.  The caller
+        supplies the source's ground truth (*units_total* frames over
+        *ideal_duration* seconds).
+        """
+        from ..audio import sync
+
+        vstats = self.video_stats.get(stream_id)
+        frames = vstats.frames_received if vstats is not None else 0
+        playback = 0.0
+        if frames and units_total > 0 and ideal_duration > 0:
+            actual = max(vstats.last_frame_time
+                         - vstats.first_frame_time, 0.0)
+            playback = sync.playback_quality(
+                frames, units_total, ideal_duration, actual)
+        audio_q = 1.0
+        if self.audio.arrivals:
+            audio_q = sync.audio_quality(
+                self.audio.arrivals, self.audio.chunks_received,
+                ideal_duration, start_offset=start_offset)
+        skew = 0.0
+        if vstats is not None and vstats.arrivals and units_total > 0:
+            # Video arrivals carry frame numbers; the source cadence
+            # turns them into server-side timestamps for the skew
+            # comparison against audio's real timestamps.
+            period = ideal_duration / units_total
+            video_pairs = [(no * period, arr)
+                           for no, arr in vstats.arrivals]
+            skew = sync.av_sync_skew(self.audio.arrivals, video_pairs)
+        msg = wire.QosReportMessage(
+            stream_id, frames,
+            min(1.0, max(0.0, playback)),
+            min(1.0, max(0.0, audio_q)),
+            min(LIMITS.max_av_skew, max(0.0, skew)))
+        self.connection.up.write(wire.encode_message(msg))
+        return msg
+
     # -- receive path ---------------------------------------------------------
 
     def _on_data(self, chunk: bytes) -> None:
@@ -272,8 +321,17 @@ class THINCClient:
             return
         if isinstance(msg, wire.VideoMoveMessage):
             return
+        if isinstance(msg, wire.VideoQualityMessage):
+            # The server announced a ladder move; rung 0 means the
+            # stream is back to full-rate video.
+            if msg.rung == 0:
+                self.video_quality.pop(msg.stream_id, None)
+            else:
+                self.video_quality[msg.stream_id] = msg
+            return
         if isinstance(msg, wire.VideoTeardownMessage):
             self.video_streams.pop(msg.stream_id, None)
+            self.video_quality.pop(msg.stream_id, None)
             return
         if isinstance(msg, wire.CursorImageMessage):
             import numpy as np

@@ -141,7 +141,7 @@ class GovernorStats:
     __slots__ = ("admitted", "admission_denied", "quarantined", "evicted",
                  "degrade_entered", "degrade_exited", "coalesces",
                  "audio_shed", "uplink_throttled", "wire_errors",
-                 "denials_written")
+                 "denials_written", "video_rungs_shed")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -323,6 +323,17 @@ class Governor:
             self._coalesce(session, meter, now)
             return
         if pending > b.degrade_queue_bytes:
+            qos = getattr(self.server, "qos", None)
+            if qos is not None and not meter.degraded \
+                    and session.qos_rung < qos.MAX_RUNG:
+                # QoS-class-aware shed order: video rungs are spent
+                # before the degrade stage (which sheds audio) may
+                # engage.  While the ladder has headroom the session
+                # is never degraded — a rate-limited step just waits
+                # for the next poll interval.
+                if qos.shed_video(session):
+                    self.stats.video_rungs_shed += 1
+                return
             if not meter.degraded:
                 meter.degraded = True
                 session.degraded = True

@@ -1,0 +1,488 @@
+"""Adaptive QoS plane: spend video fidelity before interactivity.
+
+THINC's delivery stack already has the right *primitives* for a
+contended link — video frames are self-contained and overwrite their
+destination completely (Section 4.2: "frames can simply be dropped"),
+the scheduler favours real-time regions, and the governor sheds audio
+before display.  What the fixed-rate path lacks is a *policy* that
+notices congestion early and sacrifices the most elastic traffic class
+first.  This plane supplies it: per session, video walks a seeded,
+hysteresis-guarded degradation ladder while interactive updates keep
+their latency, and symmetric ramp-up restores full-rate video once the
+link clears.
+
+The ladder (rung 0 is the paper's fixed-rate path, byte-identical):
+
+====  ==========================================================
+rung  video treatment
+====  ==========================================================
+0     full-rate YV12 passthrough (the unmodified command object)
+1     cadence halving — frames whose number is off the divisor
+      grid are dropped before they cost wire bytes
+2     rung 1 plus resolution step-down: the frame is decoded,
+      nearest-neighbour scaled by ``1 >> scale_shift`` (even
+      dimensions preserved for the planar formats) and re-encoded;
+      the client's own VFRAME scaling stretches it back over the
+      unchanged destination rectangle, so *no wire change at all*
+      is needed for reduced-resolution frames
+3     rung 2 plus a flat quantiser squeeze on the RGB surface
+      before re-encode — the chroma/detail loss DEFLATEs away
+====  ==========================================================
+
+Classification is structural: INTERACTIVE traffic (display commands,
+control, input echo) never passes through this plane — only
+:class:`~repro.protocol.commands.VideoFrameCommand` does — and AUDIO
+sits between them via the governor's ladder: a whole video rung is
+spent before the degrade stage (which sheds audio) may engage.
+
+Two deliberate design points keep the plane simulation-friendly:
+
+* **No timers.**  Congestion is polled lazily when video frames pass
+  through, rate-limited to the configured interval, so an idle server
+  schedules nothing and ``run_until_idle`` terminates.  All time comes
+  from the :class:`~repro.net.clock.EventLoop` clock.
+* **Plane-owned controller state.**  Hysteresis counters, poll clocks
+  and the seeded ramp-up jitter live here, keyed by session identity
+  — never on the unit — so the frozen-surface allowlist stays exact.
+  Only the rung itself (``SessionUnit.qos_rung``) migrates; a thawed
+  session re-derives its hysteresis from live measurements.
+
+Every rung change is announced to the client with a
+``VIDEO_QUALITY`` descriptor, and recovery to rung 0 triggers a
+lossless refresh of each active stream's destination so convergence
+back to pixel-exact content never depends on the video source still
+producing frames.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..codec import EncoderPolicy, LinkPosture
+from ..protocol import wire
+from ..protocol.commands import VideoFrameCommand
+from ..protocol.limits import LIMITS
+from ..region import Rect
+from ..video import yuv
+
+__all__ = ["QosConfig", "QosPlane", "MAX_RUNG"]
+
+#: Deepest ladder rung; mirrors the wire bound so a descriptor for any
+#: reachable rung always encodes.
+MAX_RUNG = LIMITS.max_qos_rung
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Tunables for the adaptive QoS plane.
+
+    ``degrade_polls`` consecutive congested polls step the ladder down
+    one rung; ``recover_polls`` consecutive clear polls (plus a seeded
+    jitter of up to ``recover_jitter`` extra polls, so a fleet of
+    sessions does not ramp up in lockstep and re-congest the link)
+    step it back up.  ``policy`` supplies the congestion verdict —
+    the same :class:`~repro.codec.EncoderPolicy` posture probe the
+    adaptive encoder uses — and defaults to a stock policy so the QoS
+    plane works on servers that keep the fixed PNG encoder.
+
+    ``report_gap``/``report_hold`` govern the *end-to-end* signal: when
+    consecutive client QOS_REPORTs show the delivery gap (frames the
+    server submitted minus frames the client acknowledges) growing by
+    at least ``report_gap`` frames, frames are queuing somewhere past
+    this server's own transport — e.g. a relay's thin access link the
+    local probe cannot see — and that counts as congestion evidence.
+    The signal is degrade-only and recovery stays blocked for
+    ``report_hold`` seconds after such evidence: a lying client can
+    hurt nothing but its own video quality.
+    """
+
+    poll_interval: float = 0.05
+    window: float = 0.25
+    degrade_polls: int = 2
+    recover_polls: int = 6
+    recover_jitter: int = 2
+    fps_divisor: int = 2
+    scale_shift: int = 1
+    qstep: int = 8
+    report_gap: int = 2
+    report_hold: float = 0.5
+    seed: int = 0
+    policy: Optional[EncoderPolicy] = None
+
+    def __post_init__(self):
+        if self.poll_interval <= 0 or self.window <= 0:
+            raise ValueError("poll_interval and window must be positive")
+        if not 2 <= self.fps_divisor <= LIMITS.max_fps_divisor:
+            raise ValueError(
+                f"fps_divisor must be in [2, {LIMITS.max_fps_divisor}]")
+        if not 1 <= self.scale_shift <= LIMITS.max_scale_shift:
+            raise ValueError(
+                f"scale_shift must be in [1, {LIMITS.max_scale_shift}]")
+        if not 1 <= self.qstep <= LIMITS.max_qos_qstep:
+            raise ValueError(
+                f"qstep must be in [1, {LIMITS.max_qos_qstep}]")
+        if self.degrade_polls < 1 or self.recover_polls < 1:
+            raise ValueError("hysteresis poll counts must be >= 1")
+        if self.recover_jitter < 0:
+            raise ValueError("recover_jitter must be >= 0")
+        if self.report_gap < 1:
+            raise ValueError("report_gap must be >= 1")
+        if self.report_hold < 0:
+            raise ValueError("report_hold must be >= 0")
+
+
+class _SessionQos:
+    """Plane-owned controller state for one session (never serialized;
+    a migrated session re-derives all of this from live polls)."""
+
+    __slots__ = ("congested", "clear", "last_poll", "last_step",
+                 "grace_until", "recover_block_until", "submitted",
+                 "base_gap", "rng", "recover_target")
+
+    def __init__(self, rng: random.Random, recover_polls: int,
+                 jitter: int):
+        self.congested = 0
+        self.clear = 0
+        self.last_poll = -1e9
+        self.last_step = -1e9
+        self.grace_until = -1e9
+        self.recover_block_until = -1e9
+        # Per-stream frames this server actually submitted for the
+        # session, and the smallest delivery gap any QOS_REPORT has
+        # shown (the low-water mark congestion is judged against).
+        self.submitted: Dict[int, int] = {}
+        self.base_gap: Dict[int, int] = {}
+        self.rng = rng
+        self.recover_target = recover_polls + rng.randrange(jitter + 1)
+
+    def reroll(self, recover_polls: int, jitter: int) -> None:
+        self.recover_target = recover_polls + self.rng.randrange(jitter + 1)
+
+
+class QosPlane:
+    """Per-session video degradation ladder over the flush boundary."""
+
+    #: Re-exported for callers holding only the plane (the governor's
+    #: shed-order check).
+    MAX_RUNG = MAX_RUNG
+
+    def __init__(self, server, config: Optional[QosConfig] = None):
+        self.server = server
+        self.loop = server.loop
+        self.config = config or QosConfig()
+        self.policy = self.config.policy or EncoderPolicy()
+        self._states: Dict[int, _SessionQos] = {}
+        self._order = 0
+        #: Active stream destinations (server coordinates), fed by the
+        #: driver's setup/move hooks and lazily by passing frames; the
+        #: recovery refresh repaints exactly these rectangles.
+        self.streams: Dict[int, Rect] = {}
+        #: Latest client quality report per stream id.
+        self.reports: Dict[int, wire.QosReportMessage] = {}
+        self.stats: Dict[str, float] = {
+            "polls": 0,
+            "frames_passed": 0,
+            "frames_dropped": 0,
+            "frames_degraded": 0,
+            "rungs_down": 0,
+            "rungs_up": 0,
+            "governor_sheds": 0,
+            "recoveries": 0,
+            "descriptors_sent": 0,
+            "reports": 0,
+            "report_lag_events": 0,
+            "playback_quality": 1.0,
+            "audio_quality": 1.0,
+            "av_sync_skew": 0.0,
+        }
+
+    # -- controller state ----------------------------------------------------
+
+    def _state(self, session) -> _SessionQos:
+        state = self._states.get(id(session))
+        if state is None:
+            # Seeded per registration order (the FaultyEndpoint idiom):
+            # the same attach sequence always yields the same ramp-up
+            # jitter, so chaos scenarios replay from their seed alone.
+            rng = random.Random(zlib.crc32(
+                f"{self.config.seed}|{self._order}".encode("utf-8")))
+            self._order += 1
+            state = _SessionQos(rng, self.config.recover_polls,
+                                self.config.recover_jitter)
+            self._states[id(session)] = state
+        return state
+
+    def _prune(self, sessions) -> None:
+        if len(self._states) > len(sessions):
+            live = {id(s) for s in sessions}
+            self._states = {k: v for k, v in self._states.items()
+                            if k in live}
+
+    # -- congestion probe ----------------------------------------------------
+
+    def _congested(self, session, now: float) -> bool:
+        """One session's downlink verdict, from the same three signals
+        the adaptive encoder's posture probe uses: governor state,
+        transport send backlog against the drain horizon, and measured
+        throughput against link capacity."""
+        if session.connection is None:
+            return False  # detached: the ladder holds its position
+        if session.degraded or session.shed_display:
+            return True
+        down = session.connection.down
+        monitor = getattr(down, "monitor", None)
+        measured = None
+        if monitor is not None:
+            measured = monitor.rate("server->client",
+                                    window=self.config.window, now=now)
+        backlog = (session.buffer.pending_bytes()
+                   + getattr(down, "queued_bytes", 0))
+        posture = self.policy.posture_for(
+            measured, down.link.throughput * 8.0, backlog)
+        return posture is LinkPosture.DEGRADED
+
+    def _poll(self, session, now: float) -> None:
+        cfg = self.config
+        state = self._state(session)
+        if now - state.last_poll < cfg.poll_interval:
+            return
+        state.last_poll = now
+        self.stats["polls"] += 1
+        if now < state.grace_until:
+            # A just-sent recovery refresh pollutes the measurement
+            # window with our own burst; hold position until it ages
+            # out rather than re-degrading on self-inflicted load.
+            return
+        if self._congested(session, now):
+            state.clear = 0
+            state.congested += 1
+            if state.congested >= cfg.degrade_polls:
+                state.congested = 0
+                self._step_down(session, now)
+        else:
+            if now < state.recover_block_until:
+                # A recent QOS_REPORT showed end-to-end lag: the local
+                # probe's clear verdict only covers the first hop, so
+                # neither ramp up nor erase the report's congestion
+                # evidence until the reports go quiet.
+                state.clear = 0
+                return
+            state.congested = 0
+            if session.qos_rung == 0:
+                return
+            state.clear += 1
+            if state.clear >= state.recover_target:
+                state.clear = 0
+                self._step_up(session, now)
+
+    # -- ladder steps --------------------------------------------------------
+
+    def _step_down(self, session, now: float) -> bool:
+        if session.qos_rung >= MAX_RUNG:
+            return False
+        state = self._state(session)
+        if now - state.last_step < self.config.poll_interval:
+            return False  # one rung per interval: never skip rungs
+        state.last_step = now
+        state.clear = 0
+        session.qos_rung += 1
+        self.stats["rungs_down"] += 1
+        self._announce(session)
+        return True
+
+    def _step_up(self, session, now: float) -> None:
+        if session.qos_rung <= 0:
+            return
+        state = self._state(session)
+        state.last_step = now
+        session.qos_rung -= 1
+        state.reroll(self.config.recover_polls, self.config.recover_jitter)
+        self.stats["rungs_up"] += 1
+        self._announce(session)
+        if session.qos_rung == 0:
+            self._recover(session)
+            # The refresh burst must transmit and then age out of the
+            # rate-probe window before verdicts are trustworthy again.
+            state.grace_until = now + 2.0 * self.config.window \
+                + self.config.poll_interval
+
+    def _recover(self, session) -> None:
+        """Back to rung 0: repaint each stream's destination lossless.
+
+        The next full-rate frame would repaint it too (VFRAME is a
+        complete overwrite), but the refresh makes pixel-exact
+        convergence unconditional — a video source that stopped
+        producing mid-recovery leaves no stale degraded pixels behind.
+        """
+        self.stats["recoveries"] += 1
+        screen = self.server.driver.screen_drawable
+        for rect in self.streams.values():
+            if screen is not None:
+                rect = rect.intersect(screen.bounds)
+                if rect.empty:
+                    continue
+            self.server._submit_refresh(session, rect=rect)
+
+    def shed_video(self, session) -> bool:
+        """Governor hook: spend one whole video rung before the
+        degrade (audio-shedding) stage may engage.  Rate-limited to
+        one rung per poll interval so a single queue spike cannot
+        race the ladder to the bottom."""
+        stepped = self._step_down(session, self.loop.now)
+        if stepped:
+            self.stats["governor_sheds"] += 1
+        return stepped
+
+    # -- descriptors ---------------------------------------------------------
+
+    def descriptor(self, rung: int) -> tuple:
+        """``(fps_divisor, scale_shift, qstep)`` announced for *rung*."""
+        cfg = self.config
+        return (cfg.fps_divisor if rung >= 1 else 1,
+                cfg.scale_shift if rung >= 2 else 0,
+                cfg.qstep if rung >= 3 else 0)
+
+    def quality_message(self, stream_id: int,
+                        rung: int) -> wire.VideoQualityMessage:
+        divisor, shift, qstep = self.descriptor(rung)
+        return wire.VideoQualityMessage(stream_id, rung, divisor,
+                                        shift, qstep)
+
+    def _announce(self, session) -> None:
+        for stream_id in self.streams:
+            session.queue_control(
+                self.quality_message(stream_id, session.qos_rung))
+            self.stats["descriptors_sent"] += 1
+
+    # -- stream lifecycle (driven by THINCServer's driver hooks) -------------
+
+    def note_setup(self, stream) -> None:
+        self.streams[stream.stream_id] = stream.dst_rect
+
+    def note_move(self, stream) -> None:
+        self.streams[stream.stream_id] = stream.dst_rect
+
+    def note_teardown(self, stream_id: int) -> None:
+        self.streams.pop(stream_id, None)
+
+    def note_report(self, session, msg: wire.QosReportMessage) -> None:
+        """Record a client's QOS_REPORT (Section 8.2's quality measures
+        computed at the client, reported upstream) and mine it for the
+        end-to-end congestion signal.
+
+        The local probe only sees this server's own transport; behind a
+        relay tier the contended access link is invisible to it.  The
+        report's ``frames_received`` closes that gap: the server knows
+        how many frames it submitted for each stream, so a delivery
+        gap sitting ``report_gap`` frames above its low-water mark
+        means frames are queuing somewhere downstream.  The signal is
+        deliberately asymmetric — it can push the ladder down and
+        block recovery, never ramp it up — so a client fabricating
+        reports can only degrade its own video.
+        """
+        self.reports[msg.stream_id] = msg
+        self.stats["reports"] += 1
+        self.stats["playback_quality"] = msg.playback_quality
+        self.stats["audio_quality"] = msg.audio_quality
+        self.stats["av_sync_skew"] = msg.av_skew
+        state = self._state(session)
+        submitted = state.submitted.get(msg.stream_id)
+        if submitted is None:
+            return  # no frames of this stream sent by this server yet
+        gap = submitted - msg.frames_received
+        base = state.base_gap.get(msg.stream_id)
+        if base is None or gap < base:
+            state.base_gap[msg.stream_id] = base = gap
+        if gap - base < self.config.report_gap:
+            return
+        now = self.loop.now
+        state.recover_block_until = now + self.config.report_hold
+        state.clear = 0
+        state.congested += 1
+        self.stats["report_lag_events"] += 1
+        if state.congested >= self.config.degrade_polls:
+            state.congested = 0
+            self._step_down(session, now)
+
+    # -- the dispatch boundary -----------------------------------------------
+
+    def intercepts(self, command) -> bool:
+        """Traffic classification at the submit boundary: only the
+        VIDEO class detours through the ladder.  INTERACTIVE display
+        commands and everything else keep the direct prepare-plane
+        path untouched."""
+        return isinstance(command, VideoFrameCommand)
+
+    def dispatch(self, command: VideoFrameCommand, sessions) -> None:
+        """Route one video frame to every session at its own rung.
+
+        Rung-0 sessions receive the *original command object* through
+        the same shared prepare-plane call the fixed-rate path makes —
+        an uncontended server with QoS enabled is byte-identical to one
+        without it.  Degraded sessions share one transformed variant
+        per rung, so same-rung fan-out pays the re-encode once.
+        """
+        now = self.loop.now
+        self.streams.setdefault(command.stream_id, command.dest)
+        self._prune(sessions)
+        groups: Dict[int, List] = {}
+        for session in sessions:
+            self._poll(session, now)
+            groups.setdefault(session.qos_rung, []).append(session)
+        sid = command.stream_id
+        for rung in sorted(groups):
+            group = groups[rung]
+            if rung == 0:
+                self.stats["frames_passed"] += len(group)
+                self._count_submitted(group, sid)
+                self.server.plane.submit(command, group)
+                continue
+            if command.frame_no % self.config.fps_divisor != 0:
+                # Cadence rung: off-grid frames die before costing
+                # wire bytes (VFRAME overwrites completely, so a
+                # dropped frame is pure savings, never corruption).
+                self.stats["frames_dropped"] += len(group)
+                continue
+            self.stats["frames_degraded"] += len(group)
+            self._count_submitted(group, sid)
+            self.server.plane.submit(self._transform(command, rung), group)
+
+    def _count_submitted(self, group, stream_id: int) -> None:
+        # Ground truth for the report-gap signal: frames this server
+        # actually put on each session's path (cadence drops excluded).
+        for session in group:
+            sub = self._state(session).submitted
+            sub[stream_id] = sub.get(stream_id, 0) + 1
+
+    def _transform(self, command: VideoFrameCommand,
+                   rung: int) -> VideoFrameCommand:
+        """The rung's video treatment; rung 1 passes frames untouched
+        (cadence alone), deeper rungs decode/squeeze/re-encode."""
+        if rung <= 1:
+            return command
+        cfg = self.config
+        rgb = yuv.decode_frame(command.pixel_format, command.yuv_bytes,
+                               command.src_width, command.src_height)
+        # Even dimensions (floor 2) keep every planar format legal.
+        width = max(2, (command.src_width >> cfg.scale_shift) & ~1)
+        height = max(2, (command.src_height >> cfg.scale_shift) & ~1)
+        rgb = yuv.scale_rgb(rgb, width, height)
+        if rung >= 3:
+            q = cfg.qstep
+            rgb = np.minimum((rgb.astype(np.int32) // q) * q + q // 2,
+                             255).astype(np.uint8)
+        return VideoFrameCommand(
+            command.stream_id, command.dest, width, height,
+            yuv.encode_frame(command.pixel_format, rgb),
+            frame_no=command.frame_no,
+            pixel_format=command.pixel_format)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def rung_of(self, session) -> int:
+        return session.qos_rung

@@ -37,6 +37,7 @@ from ..region import Rect
 from . import pipeline
 from .fanout import BroadcastPlane, FanoutConfig
 from .governor import Budget, Governor, ServerBudget
+from .qos import QosConfig, QosPlane
 from .resize import DisplayScaler, resample, scale_rect
 from .scheduler import SRSFScheduler
 from .session_unit import FLUSH_INTERVAL, FrozenSession, SessionUnit
@@ -108,7 +109,8 @@ class THINCServer:
                  server_budget: Optional[ServerBudget] = None,
                  adaptive_encoding: bool = False,
                  encoder_policy: Optional[EncoderPolicy] = None,
-                 fanout: Optional[FanoutConfig] = None):
+                 fanout: Optional[FanoutConfig] = None,
+                 qos: Optional[QosConfig] = None):
         self.loop = loop
         self.cost_model = cost_model or ServerCostModel()
         self.width = width
@@ -158,6 +160,10 @@ class THINCServer:
         # Broadcast fan-out plane: always constructed (the SUBSCRIBE
         # handler must exist), inert until the first subscriber.
         self.fanout = BroadcastPlane(self, fanout)
+        # Adaptive QoS plane: degrade video before interactivity on
+        # contended links.  Off by default — the paper's fixed-rate
+        # video path stays the baseline, byte-for-byte.
+        self.qos = QosPlane(self, qos) if qos is not None else None
 
     # -- session management -----------------------------------------------------
 
@@ -218,6 +224,9 @@ class THINCServer:
         session._pipe_tail = frozen.pipe_tail
         session.degraded = frozen.degraded
         session.shed_display = frozen.shed_display
+        # The QoS ladder position survives migration; hysteresis state
+        # is plane-owned and re-derives from live polls on this shard.
+        session.qos_rung = frozen.qos_rung
         for blob in frozen.commands:
             # Straight into the buffer: governor hooks and the shed
             # check are skipped because this content was already
@@ -364,10 +373,17 @@ class THINCServer:
             # One variants pass covers direct sessions and subscribers
             # alike; the fan-out plane routes tiles and relays.
             self.fanout.dispatch(command)
+        elif self.qos is not None and self.qos.intercepts(command):
+            # Video — and only video — detours through the QoS ladder;
+            # interactive display commands keep the direct path so
+            # their latency is never taxed by the detour.
+            self.qos.dispatch(command, self.sessions)
         else:
             self.plane.submit(command, self.sessions)
 
     def video_setup(self, stream: VideoStreamInfo) -> None:
+        if self.qos is not None:
+            self.qos.note_setup(stream)
         for session in self.sessions:
             dst = stream.dst_rect
             if not session.scaler.identity:
@@ -375,8 +391,15 @@ class THINCServer:
             session.queue_control(wire.VideoSetupMessage(
                 stream.stream_id, stream.pixel_format,
                 stream.src_width, stream.src_height, dst))
+            if self.qos is not None and session.qos_rung:
+                # A stream born mid-congestion opens already degraded:
+                # the descriptor rides right behind the VSETUP.
+                session.queue_control(self.qos.quality_message(
+                    stream.stream_id, session.qos_rung))
 
     def video_move(self, stream: VideoStreamInfo) -> None:
+        if self.qos is not None:
+            self.qos.note_move(stream)
         for session in self.sessions:
             dst = stream.dst_rect
             if not session.scaler.identity:
@@ -385,6 +408,8 @@ class THINCServer:
                 wire.VideoMoveMessage(stream.stream_id, dst))
 
     def video_teardown(self, stream: VideoStreamInfo) -> None:
+        if self.qos is not None:
+            self.qos.note_teardown(stream.stream_id)
         for session in self.sessions:
             session.queue_control(
                 wire.VideoTeardownMessage(stream.stream_id))
@@ -433,6 +458,15 @@ class THINCServer:
             return
         if isinstance(msg, wire.SubscribeMessage):
             self.fanout.handle_subscribe(session, msg)
+            return
+        if isinstance(msg, wire.QosReportMessage):
+            # Client-measured playback health (Section 8.2's quality
+            # measures, computed where they are observable).  Recorded
+            # only — the ladder is driven by the server's own link
+            # probe, so a lying client cannot steer another session's
+            # bandwidth share.
+            if self.qos is not None:
+                self.qos.note_report(session, msg)
             return
         if isinstance(msg, wire.RefreshRequestMessage):
             screen = self.driver.screen_drawable
@@ -489,6 +523,9 @@ class THINCServer:
         if self.fanout.active or self.fanout.stats["subscribed"]:
             for key, value in self.fanout.stats.items():
                 out[f"fanout_{key}"] = value
+        if self.qos is not None:
+            for key, value in self.qos.stats.items():
+                out[f"qos_{key}"] = value
         return out
 
     def pipeline_stats(self) -> Dict[str, Dict[str, float]]:

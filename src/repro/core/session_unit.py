@@ -141,12 +141,14 @@ class _SessionWriter:
         return self._endpoint().writable_bytes()
 
 
-# FrozenSession wire layout, version 1.  All integers big-endian.
-_FROZEN_VERSION = 1
+# FrozenSession wire layout, version 2 (v2 appended the QoS ladder
+# rung after the counters).  All integers big-endian.
+_FROZEN_VERSION = 2
 _HEAD = struct.Struct(">BIHH")      # version, token, viewport w, h
 _VIEW = struct.Struct(">HHHH")      # scaler view rect x, y, w, h
 _MARKS = struct.Struct(">BIId")     # flags, last_seq, acked_seq, pipe_tail
 _COUNTERS = struct.Struct(">IQIIIIId")
+_QOS = struct.Struct(">B")          # video degradation ladder rung
 _U32 = struct.Struct(">I")
 _ENTRY = struct.Struct(">II")       # journal entry: seq, byte length
 
@@ -230,6 +232,11 @@ class FrozenSession:
     # rectangle is exactly ``view_rect``).
     subscribed: bool = False
     tile_mode: bool = False
+    # Video degradation ladder position (repro.core.qos).  The rung is
+    # the only QoS state that migrates: hysteresis counters and poll
+    # clocks are plane-owned and re-derived from live measurements on
+    # the target shard.
+    qos_rung: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialize for a SESSION_TRANSFER frame (bounded by
@@ -259,6 +266,7 @@ class FrozenSession:
             _COUNTERS.pack(
                 *(int(self.stats.get(k, 0)) for k in _COUNTER_KEYS),
                 float(self.stats.get("cpu_time", 0.0))),
+            _QOS.pack(self.qos_rung),
         ]
         out.append(_U32.pack(len(self.journal)))
         for seq, data in self.journal:
@@ -300,6 +308,11 @@ class FrozenSession:
         counters = cur.unpack(_COUNTERS, "counters")
         stats = dict(zip(_COUNTER_KEYS, counters[:-1]))
         stats["cpu_time"] = counters[-1]
+        (qos_rung,) = cur.unpack(_QOS, "qos rung")
+        if qos_rung > LIMITS.max_qos_rung:
+            raise wire.FieldRangeError(
+                f"frozen qos rung {qos_rung} "
+                f"(> {LIMITS.max_qos_rung})")
         (count,) = cur.unpack(_U32, "journal count")
         journal = []
         for _ in range(count):
@@ -336,6 +349,7 @@ class FrozenSession:
             replay=sections[1],
             control=sections[2],
             stats=stats,
+            qos_rung=qos_rung,
         )
 
 
@@ -395,6 +409,11 @@ class SessionUnit:
         self.degraded = False
         self.shed_display = False
         self.quarantined = False
+        # Video degradation ladder rung (repro.core.qos): 0 is the
+        # fixed-rate path.  Set only by the QoS plane; migrates so a
+        # session does not snap back to full-rate video mid-congestion
+        # just because it changed shards.
+        self.qos_rung = 0
         # Plane-owned companions, attached by their owners: the
         # resilience plane's guard and the governor's meter live *on*
         # the unit so its whole state surface is reachable from it.
@@ -664,6 +683,7 @@ class SessionUnit:
             stats=dict(self.stats),
             subscribed=subscribed,
             tile_mode=tile_mode,
+            qos_rung=self.qos_rung,
         )
 
     def forward_to(self, successor: "SessionUnit") -> None:

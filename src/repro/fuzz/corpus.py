@@ -55,6 +55,13 @@ def seed_corpus(width: int = 96, height: int = 64) -> List[bytes]:
         # direction-reject path with valid tile framing to corrupt.
         wire.TileAssignMessage(width, height,
                                Rect(0, 0, width // 2, height)),
+        # QoS control: a valid client quality report (mutation around
+        # the [0,1] quality and skew bounds starts from a valid shape),
+        # plus VIDEO_QUALITY — downlink-only, so a client sending one
+        # exercises the uplink direction-reject path with valid
+        # descriptor framing to corrupt.
+        wire.QosReportMessage(1, 24, 0.9, 0.8, 0.05),
+        wire.VideoQualityMessage(1, 2, 2, 1, 0),
         # Fabric control frames are shard-to-shard only: a client that
         # sends one is lying about its role, so these seeds exercise
         # the uplink direction-reject path (and give mutation real

@@ -6,14 +6,23 @@ the trace (Section 8.2, citing the slow-motion benchmarking
 methodology).  This monitor plays the Ethereal role: every delivered
 segment is recorded with its timestamp and direction, and the analysis
 helpers extract the same measures the paper reports.
+
+Records arrive in time order (the transport stamps them with the
+monotone loop clock), so the analysis helpers answer windowed queries
+from per-direction bisect indexes with byte-prefix sums instead of
+rescanning the whole trace: the QoS controller polls the downlink rate
+every tick without going quadratic in trace length.  Should a caller
+ever record out of order, every query falls back to the original
+full-trace scan, so results are identical either way.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["PacketRecord", "PacketMonitor"]
+__all__ = ["PacketRecord", "PacketMonitor", "RollingRateEstimator"]
 
 
 @dataclass(frozen=True)
@@ -23,16 +32,64 @@ class PacketRecord:
     size: int
 
 
+class _DirectionIndex:
+    """Sorted timestamps plus a byte-prefix-sum for one direction."""
+
+    __slots__ = ("times", "prefix")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        # prefix[k] == bytes of the first k records; prefix[0] == 0.
+        self.prefix: List[int] = [0]
+
+    def add(self, time: float, size: int) -> None:
+        self.times.append(time)
+        self.prefix.append(self.prefix[-1] + size)
+
+    def total(self, start: float, end: float) -> int:
+        lo = bisect_left(self.times, start)
+        hi = bisect_right(self.times, end)
+        if hi <= lo:  # empty (or inverted) window
+            return 0
+        return self.prefix[hi] - self.prefix[lo]
+
+    def first(self, after: float) -> Optional[float]:
+        i = bisect_left(self.times, after)
+        return self.times[i] if i < len(self.times) else None
+
+    def last(self, before: float) -> Optional[float]:
+        i = bisect_right(self.times, before) - 1
+        return self.times[i] if i >= 0 else None
+
+    def size_at(self, i: int) -> int:
+        return self.prefix[i + 1] - self.prefix[i]
+
+
 class PacketMonitor:
     """Records every segment crossing the emulated network."""
 
     def __init__(self) -> None:
         self.records: List[PacketRecord] = []
         self.marks: List[Tuple[float, str]] = []
+        self._all = _DirectionIndex()
+        self._by_dir: Dict[str, _DirectionIndex] = {}
+        self._monotone = True
+        self._last_time = float("-inf")
+        # Bumped by clear(); lets estimators notice a trace reset.
+        self._generation = 0
 
     def record(self, time: float, direction: str, size: int) -> None:
         """Log one delivered segment (called by the transport)."""
         self.records.append(PacketRecord(time, direction, size))
+        if time < self._last_time:
+            self._monotone = False
+        else:
+            self._last_time = time
+        self._all.add(time, size)
+        idx = self._by_dir.get(direction)
+        if idx is None:
+            idx = self._by_dir[direction] = _DirectionIndex()
+        idx.add(time, size)
 
     def mark(self, time: float, label: str) -> None:
         """Drop an analysis marker (e.g. page-load click) into the trace."""
@@ -42,32 +99,51 @@ class PacketMonitor:
         """Drop all records and marks (between benchmark phases)."""
         self.records = []
         self.marks = []
+        self._all = _DirectionIndex()
+        self._by_dir = {}
+        self._monotone = True
+        self._last_time = float("-inf")
+        self._generation += 1
+
+    def _index(self, direction: Optional[str]) -> _DirectionIndex:
+        if direction is None:
+            return self._all
+        idx = self._by_dir.get(direction)
+        if idx is None:
+            idx = self._by_dir[direction] = _DirectionIndex()
+        return idx
 
     # -- analysis -----------------------------------------------------------
 
     def total_bytes(self, direction: Optional[str] = None,
                     start: float = float("-inf"),
                     end: float = float("inf")) -> int:
-        return sum(r.size for r in self.records
-                   if (direction is None or r.direction == direction)
-                   and start <= r.time <= end)
+        if not self._monotone:
+            return sum(r.size for r in self.records
+                       if (direction is None or r.direction == direction)
+                       and start <= r.time <= end)
+        return self._index(direction).total(start, end)
 
     def first_packet_time(self, direction: Optional[str] = None,
                           after: float = float("-inf")) -> Optional[float]:
-        for r in self.records:
-            if (direction is None or r.direction == direction) \
-                    and r.time >= after:
-                return r.time
-        return None
+        if not self._monotone:
+            for r in self.records:
+                if (direction is None or r.direction == direction) \
+                        and r.time >= after:
+                    return r.time
+            return None
+        return self._index(direction).first(after)
 
     def last_packet_time(self, direction: Optional[str] = None,
                          before: float = float("inf")) -> Optional[float]:
-        result = None
-        for r in self.records:
-            if (direction is None or r.direction == direction) \
-                    and r.time <= before:
-                result = r.time
-        return result
+        if not self._monotone:
+            result = None
+            for r in self.records:
+                if (direction is None or r.direction == direction) \
+                        and r.time <= before:
+                    result = r.time
+            return result
+        return self._index(direction).last(before)
 
     def span_latency(self, start: float, end: float = float("inf"),
                      direction: str = "server->client") -> Optional[float]:
@@ -78,5 +154,55 @@ class PacketMonitor:
             return None
         return last - start
 
+    def rate(self, direction: Optional[str] = None, window: float = 0.25,
+             now: float = 0.0) -> float:
+        """Bits per second delivered over the trailing *window* ending
+        at *now* (inclusive on both ends, like :meth:`total_bytes`)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        return self.total_bytes(direction, start=now - window,
+                                end=now) * 8.0 / window
+
     def __len__(self) -> int:
         return len(self.records)
+
+
+class RollingRateEstimator:
+    """Amortised-O(1) trailing-window rate over one monitor direction.
+
+    Each :meth:`update` advances two cursors monotonically over the
+    direction's index — every record enters and leaves the window at
+    most once — so polling every tick costs O(1) amortised instead of a
+    bisect (let alone a full rescan) per poll.  The returned rate is
+    exactly ``monitor.rate(direction, window, now)`` for monotone
+    *now* sequences (the only kind the loop clock produces).
+    """
+
+    def __init__(self, monitor: PacketMonitor,
+                 direction: Optional[str] = None,
+                 window: float = 0.25) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.monitor = monitor
+        self.direction = direction
+        self.window = window
+        self._head = 0
+        self._tail = 0
+        self._bytes = 0
+        self._generation = monitor._generation
+
+    def update(self, now: float) -> float:
+        """Advance the window to end at *now*; return bits per second."""
+        if self._generation != self.monitor._generation:
+            self._head = self._tail = self._bytes = 0
+            self._generation = self.monitor._generation
+        idx = self.monitor._index(self.direction)
+        times = idx.times
+        while self._tail < len(times) and times[self._tail] <= now:
+            self._bytes += idx.size_at(self._tail)
+            self._tail += 1
+        cutoff = now - self.window
+        while self._head < self._tail and times[self._head] < cutoff:
+            self._bytes -= idx.size_at(self._head)
+            self._head += 1
+        return self._bytes * 8.0 / self.window

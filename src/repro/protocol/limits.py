@@ -93,6 +93,28 @@ class WireLimits:
     #: degenerate one-pixel grid the server would have to carve.
     max_wall_tiles: int = 4096
 
+    #: Deepest rung of the video degradation ladder a VIDEO_QUALITY
+    #: message may announce (0 full-rate YV12, 1 cadence halving,
+    #: 2 resolution step-down, 3 chroma/quantise squeeze).
+    max_qos_rung: int = 3
+
+    #: Largest frame-cadence divisor a VIDEO_QUALITY descriptor may
+    #: carry (the QoS ladder only ever halves, but the wire bound is
+    #: what keeps a corrupted field from zeroing the stream).
+    max_fps_divisor: int = 16
+
+    #: Largest right-shift a VIDEO_QUALITY resolution step-down may
+    #: declare; 3 already means one-eighth linear resolution.
+    max_scale_shift: int = 3
+
+    #: Largest quantiser step a VIDEO_QUALITY squeeze rung may name
+    #: (the lossy codec's flat quantiser; 64 is already unwatchable).
+    max_qos_qstep: int = 64
+
+    #: Ceiling on the A/V sync skew a QOS_REPORT may claim, so one
+    #: corrupted float cannot poison the server's quality averages.
+    max_av_skew: float = 3600.0
+
 
 #: The limits every production parser runs under.
 LIMITS = WireLimits()

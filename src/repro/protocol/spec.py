@@ -245,6 +245,27 @@ PROTOCOL_SPEC: List[MessageSpec] = [
         "tile, at 1:1 scale.",
         "wall_w[u16] wall_h[u16] rect[4xu16]",
         _wire.TileAssignMessage),
+    MessageSpec(
+        "VIDEO_QUALITY", 38, "s->c", "(extension: qos)",
+        "Server announces a video stream's negotiated quality rung "
+        "whenever the QoS degradation ladder moves (healthy links "
+        "never see one): fps_divisor ships only every Nth source "
+        "frame, scale_shift right-shifts the source dimensions before "
+        "encoding (the client's overlay scaler restores the output "
+        "size), and qstep names the bottom rung's chroma/quantise "
+        "squeeze (0 = lossless YV12).",
+        "stream[u16] rung[u8] fps_divisor[u8] scale_shift[u8] qstep[u8]",
+        _wire.VideoQualityMessage),
+    MessageSpec(
+        "QOS_REPORT", 39, "c->s", "(extension: qos)",
+        "Client feeds delivered A/V quality back to the server: frames "
+        "actually presented plus the Section 8.2 playback/audio quality "
+        "fractions and the A/V sync skew over one stream's arrival "
+        "records.  The QoS plane uses it to confirm a ramp-up took on "
+        "the client, not just on the byte counters.",
+        "stream[u16] frames[u32] playback_q[f64] audio_q[f64] "
+        "av_skew[f64]",
+        _wire.QosReportMessage),
 ]
 
 #: Type ids a client may legitimately send to the server.  The

@@ -61,6 +61,8 @@ __all__ = [
     "ShardAdmissionReportMessage",
     "SubscribeMessage",
     "TileAssignMessage",
+    "VideoQualityMessage",
+    "QosReportMessage",
     "SUBSCRIBE_MIRROR",
     "SUBSCRIBE_TILE",
     "ProtocolError",
@@ -151,6 +153,8 @@ _MIGRATE_COMPLETE = 34
 _SHARD_ADMISSION = 35
 _SUBSCRIBE = 36
 _TILE_ASSIGN = 37
+_VIDEO_QUALITY = 38
+_QOS_REPORT = 39
 
 _INPUT_KINDS = ("mouse-move", "mouse-click", "key")
 
@@ -169,6 +173,10 @@ _ADMISSION_BODY = struct.Struct(">HIQB")
 # Broadcast fan-out control bodies.
 _SUBSCRIBE_BODY = struct.Struct(">BHHI")
 _TILE_ASSIGN_BODY = struct.Struct(">HHHHHH")
+
+# QoS plane bodies.
+_VIDEO_QUALITY_BODY = struct.Struct(">HBBBB")
+_QOS_REPORT_BODY = struct.Struct(">HIddd")
 
 # Subscription modes carried by SubscribeMessage.
 SUBSCRIBE_MIRROR = 0  # receive the full desktop (scaled to viewport)
@@ -848,6 +856,99 @@ class TileAssignMessage:
         return cls(wall_w, wall_h, Rect(x, y, w, h))
 
 
+@dataclass(frozen=True)
+class VideoQualityMessage:
+    """Server announces a video stream's negotiated quality rung.
+
+    Sent only when the QoS ladder moves (a healthy link never sees
+    one), alongside VSETUP for streams opened while degraded.  The
+    descriptor is everything the client needs to interpret what it
+    will receive: ``fps_divisor`` (only every Nth source frame is
+    shipped), ``scale_shift`` (frames arrive at source dimensions
+    right-shifted this much and are scaled back by the overlay
+    hardware), and ``qstep`` (the chroma/quantise squeeze applied at
+    the bottom rung; 0 means lossless YV12).
+    """
+
+    stream_id: int
+    rung: int
+    fps_divisor: int = 1
+    scale_shift: int = 0
+    qstep: int = 0
+
+    type_id = _VIDEO_QUALITY
+
+    def encode_payload(self) -> bytes:
+        return _VIDEO_QUALITY_BODY.pack(self.stream_id, self.rung,
+                                        self.fps_divisor,
+                                        self.scale_shift, self.qstep)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "VideoQualityMessage":
+        _exactly(data, _VIDEO_QUALITY_BODY.size, "VIDEO_QUALITY")
+        sid, rung, fps_div, shift, qstep = \
+            _VIDEO_QUALITY_BODY.unpack_from(data)
+        if rung > LIMITS.max_qos_rung:
+            raise FieldRangeError(
+                f"VIDEO_QUALITY rung {rung} exceeds "
+                f"{LIMITS.max_qos_rung}")
+        if not 1 <= fps_div <= LIMITS.max_fps_divisor:
+            raise FieldRangeError(
+                f"VIDEO_QUALITY fps divisor {fps_div} outside "
+                f"[1, {LIMITS.max_fps_divisor}]")
+        if shift > LIMITS.max_scale_shift:
+            raise FieldRangeError(
+                f"VIDEO_QUALITY scale shift {shift} exceeds "
+                f"{LIMITS.max_scale_shift}")
+        if qstep > LIMITS.max_qos_qstep:
+            raise FieldRangeError(
+                f"VIDEO_QUALITY qstep {qstep} exceeds "
+                f"{LIMITS.max_qos_qstep}")
+        return cls(sid, rung, fps_div, shift, qstep)
+
+
+@dataclass(frozen=True)
+class QosReportMessage:
+    """Client feeds its delivered A/V quality back to the server.
+
+    Carries the Section 8.2 measures computed client-side over one
+    stream's arrival records: frames actually presented, the playback
+    and audio quality fractions, and the A/V sync skew.  The QoS plane
+    uses them to confirm a recovery took (the byte counters alone say
+    the link drained, not that the client kept up).
+    """
+
+    stream_id: int
+    frames_received: int
+    playback_quality: float = 1.0
+    audio_quality: float = 1.0
+    av_skew: float = 0.0
+
+    type_id = _QOS_REPORT
+
+    def encode_payload(self) -> bytes:
+        return _QOS_REPORT_BODY.pack(self.stream_id, self.frames_received,
+                                     self.playback_quality,
+                                     self.audio_quality, self.av_skew)
+
+    @classmethod
+    def decode_payload(cls, data: bytes) -> "QosReportMessage":
+        _exactly(data, _QOS_REPORT_BODY.size, "QOS_REPORT")
+        sid, frames, playback, audio, skew = \
+            _QOS_REPORT_BODY.unpack_from(data)
+        for name, quality in (("playback", playback), ("audio", audio)):
+            _finite(quality, f"QOS_REPORT {name} quality")
+            if not 0.0 <= quality <= 1.0:
+                raise FieldRangeError(
+                    f"QOS_REPORT {name} quality {quality} outside [0, 1]")
+        _finite(skew, "QOS_REPORT av_skew")
+        if not 0.0 <= skew <= LIMITS.max_av_skew:
+            raise FieldRangeError(
+                f"QOS_REPORT av_skew {skew} outside "
+                f"[0, {LIMITS.max_av_skew}]")
+        return cls(sid, frames, playback, audio, skew)
+
+
 _CONTROL_TYPES = {
     cls.type_id: cls
     for cls in (VideoSetupMessage, VideoMoveMessage, VideoTeardownMessage,
@@ -859,7 +960,7 @@ _CONTROL_TYPES = {
                 AttachDeniedMessage, SessionTransferMessage,
                 MigrateBeginMessage, MigrateCompleteMessage,
                 ShardAdmissionReportMessage, SubscribeMessage,
-                TileAssignMessage)
+                TileAssignMessage, VideoQualityMessage, QosReportMessage)
 }
 
 Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
@@ -870,7 +971,7 @@ Message = Union[Command, VideoSetupMessage, VideoMoveMessage,
                 AttachDeniedMessage, SessionTransferMessage,
                 MigrateBeginMessage, MigrateCompleteMessage,
                 ShardAdmissionReportMessage, SubscribeMessage,
-                TileAssignMessage]
+                TileAssignMessage, VideoQualityMessage, QosReportMessage]
 
 
 def encode_message(msg: Message) -> bytes:

@@ -454,6 +454,7 @@ class TestSeededMutations:
             tmp_path, "core/client.py",
             "        if isinstance(msg, wire.VideoTeardownMessage):\n"
             "            self.video_streams.pop(msg.stream_id, None)\n"
+            "            self.video_quality.pop(msg.stream_id, None)\n"
             "            return\n",
             "")
         findings = findings_of(root)

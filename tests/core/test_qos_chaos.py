@@ -1,0 +1,97 @@
+"""Chaos: the QoS ladder crossed with live migration under congestion.
+
+``make chaos`` runs this file at THINC_CHAOS_SEED 11, 23 and 47 with
+the queue sanitizer armed; the default run uses seed 0.  The scenario
+is the adaptive-QoS issue's worst case: a session playing video over a
+thin, bursty link walks the degradation ladder, is migrated between
+shards *mid-fault*, and must still ramp back to full-rate video and
+converge pixel-exact on its new home — the rung travels inside the
+frozen session blob, so the successor shard resumes the ladder instead
+of restarting it.
+"""
+
+import os
+from dataclasses import replace
+
+from repro.core.qos import QosConfig
+from repro.core.session_unit import FrozenSession
+from repro.net.faults import FaultPlan
+from repro.net.link import PDA_80211G
+from repro.protocol import wire
+from repro.region import Rect
+from repro.video.stream import SyntheticVideoClip
+from repro.workloads.video import AVPlayerApp
+
+from tests.helpers import assert_pixel_identical, make_shard_rig
+
+THIN_256K = replace(PDA_80211G, name="256k thin", bandwidth_bps=256e3)
+
+CHAOS_SEED = int(os.environ.get("THINC_CHAOS_SEED", "0"))
+
+
+class TestQosMigrationUnderChaos:
+    def test_ladder_survives_migration_mid_congestion(self):
+        seed = CHAOS_SEED or 7
+        # A flapping radio link: each flap partitions the access link
+        # outright, so frames pile up in the relay tier where only the
+        # client's QOS_REPORT gap can expose them to the shard.
+        plan = FaultPlan.flapping_80211g(
+            1000 + seed, start=0.3, duration=1.6, flaps=4)
+        loop, coord, screens, rcs = make_shard_rig(
+            shards=2, clients=1, link=THIN_256K, plan=plan,
+            schedule_workloads=False,
+            qos=QosConfig(seed=seed, recover_polls=3, recover_jitter=1))
+        # Mirrored screens: the same clip plays on every shard, so the
+        # successor shard's QoS plane knows the same streams.
+        for ws in screens:
+            clip = SyntheticVideoClip(width=32, height=18, fps=24,
+                                      duration=4.5)
+            player = AVPlayerApp(ws, loop, clip, fullscreen=False,
+                                 dst_rect=Rect(48, 24, 48, 32))
+            loop.schedule_at(0.0, player.start)
+
+        # The player reports playback health upstream periodically —
+        # behind the relay tier this end-to-end signal is the only way
+        # the shard can see the thin access link at all.
+        def report():
+            client = rcs[0].client
+            if client is not None:
+                for sid, vs in list(client.video_stats.items()):
+                    if vs.frames_received:
+                        client.send_qos_report(
+                            sid, units_total=max(1, int(loop.now * 24)),
+                            ideal_duration=max(loop.now, 1e-3))
+            if loop.now < 6.0:
+                loop.schedule(0.15, report)
+
+        loop.schedule_at(0.25, report)
+
+        # Migrate mid-fault-window, while the ladder is active.
+        loop.run_until(1.0)
+        token = rcs[0].token
+        assert token, "client never attached"
+        source = coord.route_token(token)
+        target = (source + 1) % len(coord.shards)
+        coord.migrate(token, target)
+        loop.run_until(8.0)
+
+        assert coord.route_token(token) == target
+        # The frozen blob that crossed the fabric carried the rung.
+        transfers = [m for m in coord.fabric_log
+                     if isinstance(m, wire.SessionTransferMessage)]
+        assert transfers, "no session transfer on the fabric log"
+        carried = FrozenSession.from_bytes(transfers[-1].state)
+        assert 0 <= carried.qos_rung <= wire.LIMITS.max_qos_rung
+
+        # Across both shards the ladder actually engaged...
+        downs = sum(s.stats.get("qos_rungs_down", 0) +
+                    s.governor.stats.video_rungs_shed
+                    for s in coord.shards)
+        assert downs >= 1
+        # ...and once the faults cleared the session ramped back to
+        # full rate and converged pixel-exact on its new home.
+        home = coord.shards[target]
+        guard = home.resilience.guards.get(token)
+        assert guard is not None, "token unknown on the new home shard"
+        assert guard.session.qos_rung == 0
+        assert_pixel_identical(rcs[0].client, screens[target])

@@ -1,6 +1,8 @@
 """Tests for the packet monitor and slow-motion analysis helpers."""
 
-from repro.net import PacketMonitor
+import random
+
+from repro.net import PacketMonitor, RollingRateEstimator
 
 
 def trace():
@@ -69,3 +71,117 @@ class TestSpanLatency:
         m.mark(0.0, "page-1")
         m.mark(2.0, "page-2")
         assert m.marks == [(0.0, "page-1"), (2.0, "page-2")]
+
+
+# -- the naive scans the bisect indexes must stay byte-identical with ------
+
+def naive_total(m, direction=None, start=float("-inf"), end=float("inf")):
+    return sum(r.size for r in m.records
+               if (direction is None or r.direction == direction)
+               and start <= r.time <= end)
+
+
+def naive_first(m, direction=None, after=float("-inf")):
+    for r in m.records:
+        if (direction is None or r.direction == direction) \
+                and r.time >= after:
+            return r.time
+    return None
+
+
+def naive_last(m, direction=None, before=float("inf")):
+    result = None
+    for r in m.records:
+        if (direction is None or r.direction == direction) \
+                and r.time <= before:
+            result = r.time
+    return result
+
+
+def random_trace(seed=0, n=400):
+    """A seeded time-ordered trace with duplicate timestamps and both
+    directions, as the transport produces."""
+    rng = random.Random(seed)
+    m = PacketMonitor()
+    t = 0.0
+    for _ in range(n):
+        if rng.random() > 0.3:  # duplicates exercise the tie handling
+            t += rng.random() * 0.05
+        direction = rng.choice(["server->client", "client->server"])
+        m.record(t, direction, rng.randrange(1, 1500))
+        if rng.random() < 0.02:
+            m.mark(t, "mark")
+    return m
+
+
+class TestIndexedQueriesMatchNaiveScans:
+    DIRECTIONS = (None, "server->client", "client->server", "no-such-dir")
+
+    def probes(self, m):
+        times = [r.time for r in m.records]
+        edges = [float("-inf"), 0.0, times[len(times) // 2],
+                 times[len(times) // 2] + 1e-9, times[-1], float("inf")]
+        return [(a, b) for a in edges for b in edges]
+
+    def test_total_bytes(self):
+        m = random_trace(seed=1)
+        for d in self.DIRECTIONS:
+            for start, end in self.probes(m):
+                assert m.total_bytes(d, start=start, end=end) == \
+                    naive_total(m, d, start, end)
+
+    def test_first_and_last(self):
+        m = random_trace(seed=2)
+        for d in self.DIRECTIONS:
+            for after, _ in self.probes(m):
+                assert m.first_packet_time(d, after=after) == \
+                    naive_first(m, d, after)
+                assert m.last_packet_time(d, before=after) == \
+                    naive_last(m, d, after)
+
+    def test_out_of_order_records_fall_back_to_scans(self):
+        m = random_trace(seed=3, n=50)
+        m.record(0.001, "server->client", 99)  # violates time order
+        for d in self.DIRECTIONS:
+            assert m.total_bytes(d) == naive_total(m, d)
+            assert m.first_packet_time(d, after=0.0005) == \
+                naive_first(m, d, 0.0005)
+            assert m.last_packet_time(d, before=0.002) == \
+                naive_last(m, d, 0.002)
+
+    def test_clear_resets_indexes(self):
+        m = random_trace(seed=4, n=20)
+        m.clear()
+        m.record(1.0, "server->client", 10)
+        assert m.total_bytes("server->client", start=0.5, end=1.5) == 10
+        assert m.first_packet_time("server->client", after=0.0) == 1.0
+
+
+class TestRates:
+    def test_rate_matches_windowed_total(self):
+        m = random_trace(seed=5)
+        now = m.records[-1].time
+        for window in (0.1, 0.25, 1.0):
+            want = naive_total(m, "server->client",
+                               now - window, now) * 8.0 / window
+            assert m.rate("server->client", window, now) == want
+
+    def test_rolling_estimator_matches_rate_at_every_poll(self):
+        m = PacketMonitor()
+        est = RollingRateEstimator(m, "server->client", window=0.25)
+        rng = random.Random(6)
+        t = 0.0
+        for _ in range(300):
+            t += rng.random() * 0.03
+            m.record(t, rng.choice(["server->client", "client->server"]),
+                     rng.randrange(1, 1500))
+            assert est.update(t) == m.rate("server->client", 0.25, t)
+
+    def test_rolling_estimator_survives_clear(self):
+        m = PacketMonitor()
+        est = RollingRateEstimator(m, None, window=1.0)
+        m.record(0.5, "server->client", 100)
+        assert est.update(1.0) == 800.0
+        m.clear()
+        m.record(2.0, "server->client", 50)
+        assert est.update(2.0) == m.rate(None, 1.0, 2.0) == 400.0

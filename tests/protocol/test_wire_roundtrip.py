@@ -107,6 +107,18 @@ STRATEGIES = {
                             Rect, st.just(origin[0]), st.just(origin[1]),
                             st.integers(1, wall[0] - origin[0]),
                             st.integers(1, wall[1] - origin[1]))))),
+    wire.VideoQualityMessage: st.builds(
+        wire.VideoQualityMessage, u16,
+        st.integers(0, LIMITS.max_qos_rung),
+        st.integers(1, LIMITS.max_fps_divisor),
+        st.integers(0, LIMITS.max_scale_shift),
+        st.integers(0, LIMITS.max_qos_qstep)),
+    wire.QosReportMessage: st.builds(
+        wire.QosReportMessage, u16, u32,
+        st.floats(0.0, 1.0, allow_nan=False, width=64),
+        st.floats(0.0, 1.0, allow_nan=False, width=64),
+        st.floats(0.0, float(LIMITS.max_av_skew), allow_nan=False,
+                  width=64)),
 }
 STRATEGIES[wire.CheckedFrame] = st.builds(
     wire.CheckedFrame, u32, st.one_of(*STRATEGIES.values()))
@@ -226,6 +238,46 @@ class TestTypedLimits:
         parser = wire.StreamParser(allowed=UPLINK_TYPE_IDS)
         framed = wire.encode_message(
             wire.SessionTransferMessage(7, b"state"))
+        with pytest.raises(wire.FieldRangeError):
+            parser.feed(framed)
+
+    def test_qos_rung_limit(self):
+        payload = struct.pack(">HBBBB", 1, LIMITS.max_qos_rung + 1, 1,
+                              0, 0)
+        with pytest.raises(wire.FieldRangeError):
+            wire.VideoQualityMessage.decode_payload(payload)
+
+    def test_fps_divisor_of_zero_is_rejected(self):
+        payload = struct.pack(">HBBBB", 1, 0, 0, 0, 0)
+        with pytest.raises(wire.FieldRangeError):
+            wire.VideoQualityMessage.decode_payload(payload)
+
+    def test_scale_shift_limit(self):
+        payload = struct.pack(">HBBBB", 1, 2, 2,
+                              LIMITS.max_scale_shift + 1, 0)
+        with pytest.raises(wire.FieldRangeError):
+            wire.VideoQualityMessage.decode_payload(payload)
+
+    def test_qos_qstep_limit(self):
+        payload = struct.pack(">HBBBB", 1, 3, 2, 1,
+                              LIMITS.max_qos_qstep + 1)
+        with pytest.raises(wire.FieldRangeError):
+            wire.VideoQualityMessage.decode_payload(payload)
+
+    def test_qos_report_quality_range(self):
+        payload = struct.pack(">HIddd", 1, 10, 1.5, 1.0, 0.0)
+        with pytest.raises(wire.FieldRangeError):
+            wire.QosReportMessage.decode_payload(payload)
+
+    def test_qos_report_skew_limit(self):
+        payload = struct.pack(">HIddd", 1, 10, 1.0, 1.0,
+                              LIMITS.max_av_skew * 2)
+        with pytest.raises(wire.FieldRangeError):
+            wire.QosReportMessage.decode_payload(payload)
+
+    def test_video_quality_rejected_on_uplink(self):
+        parser = wire.StreamParser(allowed=UPLINK_TYPE_IDS)
+        framed = wire.encode_message(wire.VideoQualityMessage(1, 0))
         with pytest.raises(wire.FieldRangeError):
             parser.feed(framed)
 
